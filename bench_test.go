@@ -1,0 +1,322 @@
+package spacebooking
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation section (§VI). Each BenchmarkFigN runs the corresponding
+// experiment and prints the reproduced rows/series once. The default
+// scale is "small" so `go test -bench=.` finishes in minutes; run the
+// paper-scale experiments with
+//
+//	go test -bench=. -benchtime=1x -timeout=0 -spacebench.scale=full
+//
+// or via `go run ./cmd/spacebench -scale full <figure>`.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"spacebooking/internal/graph"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+var benchScale = flag.String("spacebench.scale", "small",
+	"experiment scale for the figure benchmarks: small, medium or full")
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *Environment
+	benchEnvErr  error
+)
+
+func benchEnvironment(b *testing.B) *Environment {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		scale, err := ParseScale(*benchScale)
+		if err != nil {
+			benchEnvErr = err
+			return
+		}
+		benchEnv, benchEnvErr = NewEnvironment(EnvConfig{Scale: scale})
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// printOnce guards the one-time table output of each figure bench.
+var printOnce sync.Map
+
+func printFigure(name string, render func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n==== %s ====\n", name)
+		render()
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: social welfare ratio per algorithm
+// under the default setting and the arrival-rate sweep.
+func BenchmarkFig6(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunFig6(Fig6Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 6", func() {
+			if err := res.Table().Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Energy regenerates the left subplot of Fig. 7:
+// energy-depleted satellites over time at the default rate.
+func BenchmarkFig7Energy(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunFig7(Fig7Config{CongestionRate: env.DefaultArrivalRate()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 7 (left)", func() {
+			dep, _ := res.Tables()
+			if err := dep.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Congestion regenerates the right subplot of Fig. 7:
+// congested links over time at 2.5x the default rate.
+func BenchmarkFig7Congestion(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunFig7(Fig7Config{EnergyRate: env.DefaultArrivalRate()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 7 (right)", func() {
+			_, cong := res.Tables()
+			if err := cong.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: cumulative social welfare ratio over
+// time per algorithm.
+func BenchmarkFig8(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunFig8(Fig8Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 8", func() {
+			if err := res.Table().Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Valuation regenerates the left subplot of Fig. 9: CEAR's
+// welfare ratio across request valuations.
+func BenchmarkFig9Valuation(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunFig9(Fig9Config{F2Values: []float64{1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 9 (left)", func() {
+			valT, _ := res.Tables()
+			if err := valT.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9F2 regenerates the right subplot of Fig. 9: CEAR's welfare
+// ratio across the conservativeness parameter F2.
+func BenchmarkFig9F2(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunFig9(Fig9Config{Valuations: []float64{env.DefaultValuation()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 9 (right)", func() {
+			_, f2T := res.Tables()
+			if err := f2T.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblations runs the CEAR design-choice ablations (exponential
+// vs linear pricing, energy pricing, admission control).
+func BenchmarkAblations(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunAblations(DefaultSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Ablations", func() {
+			if err := res.Table().Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkCompetitive compares CEAR's online welfare against the
+// offline greedy estimate and Theorem 1's bound.
+func BenchmarkCompetitive(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunCompetitive(0, DefaultSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Competitive ratio", func() {
+			if err := res.Table().Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks on the hot paths -------------------------------
+
+// BenchmarkCEARHandle measures the per-request cost of Algorithm 1 on a
+// warm network.
+func BenchmarkCEARHandle(b *testing.B) {
+	env := benchEnvironment(b)
+	rc, err := env.RunConfig(sim.AlgCEAR, env.WorkloadConfig(env.DefaultArrivalRate(), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Run(rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewDijkstra measures one min-price path search over the LSN
+// view, the innermost loop of every algorithm.
+func BenchmarkViewDijkstra(b *testing.B) {
+	env := benchEnvironment(b)
+	state, err := netstate.New(env.Provider, PaperEnergyConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair := env.Pairs[0]
+	slot := findBenchSlot(b, env, pair)
+	unit := func(netstate.LinkKey, graph.EdgeClass, float64, float64) float64 { return 1 }
+	view, err := netstate.NewView(state, slot, pair.Src, pair.Dst, 1000, unit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := graph.ShortestPath(view, view.SrcNode(), view.DstNode(), nil); !ok {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func findBenchSlot(b *testing.B, env *Environment, pair workload.Pair) int {
+	b.Helper()
+	for slot := 0; slot < env.Provider.Horizon(); slot++ {
+		sv, err := env.Provider.VisibleSats(pair.Src, slot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dv, err := env.Provider.VisibleSats(pair.Dst, slot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sv) > 0 && len(dv) > 0 {
+			return slot
+		}
+	}
+	b.Skip("no routable slot")
+	return -1
+}
+
+// BenchmarkDeficitVisit measures the deficit-profile walk used in energy
+// pricing.
+func BenchmarkDeficitVisit(b *testing.B) {
+	env := benchEnvironment(b)
+	state, err := netstate.New(env.Provider, PaperEnergyConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bat := state.Battery(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		bat.VisitDeficit(0, 50000, func(t int, out float64) bool {
+			total += out
+			return true
+		})
+		_ = total
+	}
+}
+
+// BenchmarkProviderConstruction measures topology propagation (per-slot
+// positions, eclipse flags, +Grid) at small scale.
+func BenchmarkProviderConstruction(b *testing.B) {
+	cfg := topology.DefaultConfig(DefaultEpoch)
+	cfg.Walker.Planes = 8
+	cfg.Walker.SatsPerPlane = 12
+	cfg.Walker.PhasingF = 3
+	cfg.Horizon = 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.NewProvider(cfg, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveDiurnal compares static CEAR with the §V-B adaptive
+// controller under a diurnal load profile.
+func BenchmarkAdaptiveDiurnal(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.RunAdaptiveComparison(DefaultSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Adaptive (diurnal)", func() {
+			if err := res.Table().Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Command cearsim runs a single LSN simulation with one admission
+// algorithm and prints the full result: welfare, revenue, rejection
+// breakdown, and compact textual time series of the Fig. 7/8 metrics.
+//
+// Usage:
+//
+//	cearsim [-scale small|medium|full]
+//	        [-alg CEAR|SSP|ECARS|ERU|ERA|CEAR-NE|CEAR-AA|CEAR-LIN|CEAR-AD]
+//	        [-rate R] [-seed N] [-valuation V] [-f1 F] [-f2 F]
+//	        [-trace decisions.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spacebooking"
+	"spacebooking/internal/metrics"
+	"spacebooking/internal/pricing"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/trace"
+	"spacebooking/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func parseAlg(name string) (sim.AlgorithmKind, error) {
+	algs := map[string]sim.AlgorithmKind{
+		"CEAR": sim.AlgCEAR, "SSP": sim.AlgSSP, "ECARS": sim.AlgECARS,
+		"ERU": sim.AlgERU, "ERA": sim.AlgERA,
+		"CEAR-NE": sim.AlgCEARNoEnergy, "CEAR-AA": sim.AlgCEARNoAdmission,
+		"CEAR-LIN": sim.AlgCEARLinear, "CEAR-AD": sim.AlgCEARAdaptive,
+	}
+	if k, ok := algs[strings.ToUpper(name)]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func run() int {
+	scaleName := flag.String("scale", "small", "experiment scale: small, medium or full")
+	algName := flag.String("alg", "CEAR", "algorithm: CEAR, SSP, ECARS, ERU, ERA, CEAR-NE, CEAR-AA, CEAR-LIN, CEAR-AD")
+	rate := flag.Float64("rate", 0, "request arrival rate per minute (0 = scale default)")
+	seed := flag.Int64("seed", 101, "workload random seed")
+	valuation := flag.Float64("valuation", 0, "request valuation ρ (0 = scale default)")
+	f1 := flag.Float64("f1", 1, "bandwidth conservativeness parameter F1")
+	f2 := flag.Float64("f2", 1, "energy conservativeness parameter F2")
+	traceFile := flag.String("trace", "", "write a JSON-lines decision trace to this file")
+	flag.Parse()
+
+	scale, err := spacebooking.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	start := time.Now()
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *rate == 0 {
+		*rate = env.DefaultArrivalRate()
+	}
+	if *valuation == 0 {
+		*valuation = env.DefaultValuation()
+	}
+
+	wl := env.WorkloadConfig(*rate, *seed)
+	wl.Valuation = *valuation
+	rc, err := env.RunConfig(alg, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rc.Pricing, err = pricing.Derive(*f1, *f2, 20, 10)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		rc.Trace = trace.NewWriter(f)
+	}
+
+	res, err := env.Run(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Diagnostic: how far this workload strays from §V's assumptions.
+	reqs, err := workload.Generate(wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	assumptions, err := sim.CheckAssumptions(env.Provider, rc.Pricing, rc.Energy, reqs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	fmt.Printf("algorithm        %s\n", res.Algorithm)
+	fmt.Printf("scale            %s (%d satellites, horizon %d min)\n", scale, env.Provider.NumSats(), env.Provider.Horizon())
+	fmt.Printf("arrival rate     %.3g req/min, seed %d, valuation %.3g\n", *rate, *seed, *valuation)
+	fmt.Printf("requests         %d total, %d accepted (%.1f%%)\n",
+		res.TotalRequests, res.Accepted, 100*float64(res.Accepted)/float64(max(1, res.TotalRequests)))
+	fmt.Printf("welfare ratio    %.4f\n", res.WelfareRatio)
+	fmt.Printf("operator revenue %.4g\n", res.Revenue)
+	fmt.Printf("avg path hops    %.2f (one-way latency %.1f ms)\n", res.AvgAcceptedHops, res.AvgAcceptedLatencyMs)
+	fmt.Printf("assumptions 1-2  %s\n", assumptions)
+	if len(res.Rejections) > 0 {
+		fmt.Printf("rejections:\n")
+		for reason, n := range res.Rejections {
+			fmt.Printf("  %-18s %d\n", reason, n)
+		}
+	}
+	fmt.Printf("mean depleted satellites  %.2f (peak %d)\n", res.MeanDepleted(), maxInt(res.DepletedPerSlot))
+	fmt.Printf("mean congested links      %.2f (peak %d)\n", res.MeanCongested(), maxInt(res.CongestedPerSlot))
+	fmt.Printf("\ndepleted satellites over time:\n%s\n", metrics.Sparkline(res.DepletedPerSlot, 96))
+	fmt.Printf("congested links over time:\n%s\n", metrics.Sparkline(res.CongestedPerSlot, 96))
+	fmt.Printf("cumulative welfare ratio over time:\n%s\n", metrics.SparklineFloat(res.CumulativeWelfareRatio, 96))
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+// Command constellation inspects the simulated LSN topology: satellite
+// positions, coverage statistics, eclipse cycles, ISL geometry and
+// ground-site visibility — useful for validating the substrate before
+// running experiments.
+//
+// Usage:
+//
+//	constellation [-scale small|medium|full] [-slot N] [-site "lat,lon"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spacebooking"
+	"spacebooking/internal/geo"
+	"spacebooking/internal/grid"
+	"spacebooking/internal/topology"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleName := flag.String("scale", "small", "scale: small, medium or full")
+	slot := flag.Int("slot", 0, "time slot to inspect")
+	siteSpec := flag.String("site", "40.7,-74.0", "ground site as \"lat,lon\" for visibility report")
+	flag.Parse()
+
+	scale, err := spacebooking.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	lat, lon, err := parseSite(*siteSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	start := time.Now()
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	prov := env.Provider
+	if *slot < 0 || *slot >= prov.Horizon() {
+		fmt.Fprintf(os.Stderr, "slot %d outside horizon [0,%d)\n", *slot, prov.Horizon())
+		return 1
+	}
+	cfg := prov.Config()
+
+	fmt.Printf("constellation: %d planes x %d satellites = %d total\n",
+		cfg.Walker.Planes, cfg.Walker.SatsPerPlane, prov.NumSats())
+	fmt.Printf("orbit: %.0f km altitude, %.0f deg inclination, period %.1f min\n",
+		cfg.Walker.AltitudeKm, cfg.Walker.InclinationDeg,
+		prov.Satellites()[0].Elements.PeriodSeconds()/60)
+	fmt.Printf("links: ISL %.0f Mbps, USL %.0f Mbps, elevation mask %.0f deg\n",
+		cfg.ISLCapacityMbps, cfg.USLCapacityMbps, cfg.MinElevationDeg)
+	fmt.Printf("horizon: %d slots x %.0f s; %d ground sites; %d EO satellites\n\n",
+		prov.Horizon(), cfg.SlotSeconds, prov.NumSites(), prov.NumEO())
+
+	// Eclipse statistics at the chosen slot.
+	lit := 0
+	for sat := 0; sat < prov.NumSats(); sat++ {
+		if prov.Sunlit(*slot, sat) {
+			lit++
+		}
+	}
+	fmt.Printf("slot %d: %d/%d satellites sunlit (%.1f%%)\n",
+		*slot, lit, prov.NumSats(), 100*float64(lit)/float64(prov.NumSats()))
+
+	// ISL length statistics.
+	minLen, maxLen, sum, count := 1e18, 0.0, 0.0, 0
+	for sat := 0; sat < prov.NumSats(); sat++ {
+		for _, n := range prov.ISLNeighbors(sat) {
+			if n < sat {
+				continue
+			}
+			d := prov.SatPosECI(*slot, sat).DistanceTo(prov.SatPosECI(*slot, n))
+			if d < minLen {
+				minLen = d
+			}
+			if d > maxLen {
+				maxLen = d
+			}
+			sum += d
+			count++
+		}
+	}
+	fmt.Printf("ISLs: %d undirected, length min/mean/max = %.0f/%.0f/%.0f km\n",
+		count, minLen, sum/float64(count), maxLen)
+
+	// Visibility from the requested ground point over the horizon.
+	tmpSite := grid.Site{ID: 0, LatDeg: lat, LonDeg: lon}
+	visProv, err := topology.NewProvider(cfg, []grid.Site{tmpSite}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ep := topology.Endpoint{Kind: topology.EndpointGround, Index: 0}
+	covered, total, best := 0, 0, 0
+	for t := 0; t < visProv.Horizon(); t++ {
+		vis, err := visProv.VisibleSats(ep, t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		total++
+		if len(vis) > 0 {
+			covered++
+		}
+		if len(vis) > best {
+			best = len(vis)
+		}
+	}
+	fmt.Printf("\nsite (%.2f, %.2f): covered %d/%d slots (%.1f%%), max %d satellites in view\n",
+		lat, lon, covered, total, 100*float64(covered)/float64(total), best)
+
+	vis, err := visProv.VisibleSats(ep, *slot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	obs := geo.LLAToECEF(geo.LLA{LatDeg: lat, LonDeg: lon})
+	fmt.Printf("slot %d: %d satellites visible\n", *slot, len(vis))
+	for _, sat := range vis {
+		pos := visProv.SatPosECEF(*slot, sat)
+		fmt.Printf("  sat %4d  elevation %5.1f deg  range %6.0f km  sunlit %v\n",
+			sat, geo.ElevationDeg(obs, pos), obs.DistanceTo(pos), visProv.Sunlit(*slot, sat))
+	}
+
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func parseSite(spec string) (lat, lon float64, err error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad site %q, want \"lat,lon\"", spec)
+	}
+	lat, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad latitude: %w", err)
+	}
+	lon, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad longitude: %w", err)
+	}
+	if lat < -90 || lat > 90 || lon < -180 || lon > 180 {
+		return 0, 0, fmt.Errorf("site (%v,%v) out of range", lat, lon)
+	}
+	return lat, lon, nil
+}

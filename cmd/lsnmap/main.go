@@ -1,0 +1,168 @@
+// Command lsnmap renders a snapshot of the simulated LSN as a standalone
+// SVG: satellite sub-points (coloured by battery health after an
+// optional simulated load), ground sites, the +Grid ISL fabric, and the
+// min-price path of a sample request.
+//
+// Usage:
+//
+//	lsnmap [-scale small|medium|full] [-slot N] [-load R] [-o out.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spacebooking"
+	"spacebooking/internal/core"
+	"spacebooking/internal/geo"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/viz"
+	"spacebooking/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleName := flag.String("scale", "small", "scale: small, medium or full")
+	slot := flag.Int("slot", 30, "time slot to snapshot")
+	load := flag.Float64("load", 0, "requests/min of simulated load before the snapshot (0 = pristine)")
+	out := flag.String("o", "lsnmap.svg", "output SVG file")
+	flag.Parse()
+
+	scale, err := spacebooking.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	start := time.Now()
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	prov := env.Provider
+	if *slot < 0 || *slot >= prov.Horizon() {
+		fmt.Fprintf(os.Stderr, "slot %d outside horizon [0,%d)\n", *slot, prov.Horizon())
+		return 1
+	}
+
+	// Optionally drive load through CEAR so battery colours mean something.
+	state, err := netstate.New(prov, spacebooking.PaperEnergyConfig(), false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	params, err := spacebooking.PaperPricing()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cear, err := core.New(state, core.Options{Pricing: params})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *load > 0 {
+		reqs, err := workload.Generate(env.WorkloadConfig(*load, 101))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		accepted := 0
+		for _, r := range reqs {
+			d, err := cear.Handle(r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if d.Accepted {
+				accepted++
+			}
+		}
+		fmt.Printf("simulated load: %d/%d requests accepted\n", accepted, len(reqs))
+	}
+
+	m := viz.NewMap(fmt.Sprintf("LSN snapshot — %s scale, slot %d (%s %s)",
+		scale, *slot, sim.AlgCEAR, "pricing state"))
+
+	// ISLs first (underneath), for a subset to keep full scale legible.
+	stride := 1
+	if prov.NumSats() > 400 {
+		stride = 4
+	}
+	subpoint := func(sat int) (float64, float64) {
+		lla := geo.ECEFToLLA(prov.SatPosECEF(*slot, sat))
+		return lla.LatDeg, lla.LonDeg
+	}
+	for sat := 0; sat < prov.NumSats(); sat += stride {
+		la1, lo1 := subpoint(sat)
+		for _, n := range prov.ISLNeighbors(sat) {
+			if n < sat {
+				continue
+			}
+			la2, lo2 := subpoint(n)
+			m.AddLink(la1, lo1, la2, lo2, "#233057", 0.3)
+		}
+	}
+
+	// Satellites coloured by battery depletion at the snapshot slot.
+	for sat := 0; sat < prov.NumSats(); sat++ {
+		la, lo := subpoint(sat)
+		depletion := state.Battery(sat).UtilizationAt(*slot)
+		m.AddSatellite(la, lo, prov.Sunlit(*slot, sat), viz.HeatRamp(depletion))
+	}
+
+	// Ground sites.
+	for _, s := range env.Sites {
+		m.AddSite(s.LatDeg, s.LonDeg, "#2e8b57")
+	}
+
+	// One sample request path at the snapshot slot.
+	pair := env.Pairs[0]
+	req := workload.Request{
+		ID: 1 << 20, Src: pair.Src, Dst: pair.Dst,
+		StartSlot: *slot, EndSlot: *slot,
+		RateMbps: 1000, Valuation: env.DefaultValuation(),
+	}
+	d, err := cear.Handle(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if d.Accepted {
+		path := d.Plan.Paths[0].Path
+		src := env.Sites[pair.Src.Index]
+		dst := env.Sites[pair.Dst.Index]
+		prevLat, prevLon := src.LatDeg, src.LonDeg
+		for _, n := range path.Nodes[1 : len(path.Nodes)-1] {
+			la, lo := subpoint(n)
+			m.AddLink(prevLat, prevLon, la, lo, "#ffd24d", 1.2)
+			prevLat, prevLon = la, lo
+		}
+		m.AddLink(prevLat, prevLon, dst.LatDeg, dst.LonDeg, "#ffd24d", 1.2)
+		m.AddLabel(src.LatDeg, src.LonDeg, "src", "#ffd24d")
+		m.AddLabel(dst.LatDeg, dst.LonDeg, "dst", "#ffd24d")
+		fmt.Printf("sample request routed over %d hops at price %.4g\n", path.Hops(), d.Price)
+	} else {
+		fmt.Printf("sample request rejected: %s\n", d.Reason)
+	}
+
+	svg := m.Render([]viz.Legend{
+		{Color: "#2e8b57", Text: "ground site"},
+		{Color: viz.HeatRamp(0), Text: "satellite (full battery)"},
+		{Color: viz.HeatRamp(1), Text: "satellite (depleted)"},
+		{Color: "#444466", Text: "in umbra"},
+		{Color: "#ffd24d", Text: "sample reserved path"},
+	})
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d elements) in %v\n", *out, m.NumElements(), time.Since(start).Round(time.Millisecond))
+	return 0
+}

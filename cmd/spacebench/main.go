@@ -1,0 +1,278 @@
+// Command spacebench regenerates the figures of the paper's evaluation
+// section (§VI). Each subcommand reproduces one figure; "all" runs the
+// whole evaluation.
+//
+// Usage:
+//
+//	spacebench [-scale small|medium|full] [-seed N] [-quiet] <figure>
+//
+// where <figure> is one of: fig6, fig7, fig8, fig9, ablate, adaptive,
+// competitive, all.
+//
+// The default scale is "medium" — shape-preserving and minutes-fast. Use
+// -scale full for the paper's exact §VI-A setting (1584 satellites,
+// 384 minutes, 1761 ground sites, 223 EO satellites); expect a long run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spacebooking"
+	"spacebooking/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleName := flag.String("scale", "medium", "experiment scale: small, medium or full")
+	seed := flag.Int64("seed", 101, "base random seed for single-run figures")
+	numSeeds := flag.Int("seeds", len(spacebooking.DefaultSeeds), "number of seeds for the Fig. 6 error bars (1-5)")
+	csvDir := flag.String("csv", "", "directory for per-figure CSV exports (optional)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spacebench [flags] <fig6|fig7|fig8|fig9|ablate|adaptive|competitive|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	figure := flag.Arg(0)
+
+	scale, err := spacebooking.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	start := time.Now()
+	fmt.Printf("building %s-scale environment...\n", scale)
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if !*quiet {
+		env.Logf = func(format string, args ...interface{}) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+	fmt.Printf("environment ready in %v: %d satellites, %d sites, %d EO, %d pairs, horizon %d min\n\n",
+		time.Since(start).Round(time.Millisecond),
+		env.Provider.NumSats(), len(env.Sites), len(env.EOFleet), len(env.Pairs), env.Provider.Horizon())
+
+	if *numSeeds < 1 {
+		*numSeeds = 1
+	}
+	if *numSeeds > len(spacebooking.DefaultSeeds) {
+		*numSeeds = len(spacebooking.DefaultSeeds)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	opts := runOpts{seed: *seed, seeds: spacebooking.DefaultSeeds[:*numSeeds], csvDir: *csvDir}
+
+	runners := map[string]func(*spacebooking.Environment, runOpts) error{
+		"fig6":        runFig6,
+		"fig7":        runFig7,
+		"fig8":        runFig8,
+		"fig9":        runFig9,
+		"ablate":      runAblate,
+		"adaptive":    runAdaptive,
+		"competitive": runCompetitive,
+	}
+	if figure == "all" {
+		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "ablate", "adaptive", "competitive"} {
+			if err := runners[name](env, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				return 1
+			}
+		}
+		fmt.Printf("\nall figures reproduced in %v\n", time.Since(start).Round(time.Second))
+		return 0
+	}
+	runner, ok := runners[figure]
+	if !ok {
+		flag.Usage()
+		return 2
+	}
+	if err := runner(env, opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// runOpts carries the seed and export settings to the figure runners.
+type runOpts struct {
+	seed   int64
+	seeds  []int64
+	csvDir string
+}
+
+// writeCSV writes one export file when -csv is set.
+func (o runOpts) writeCSV(name string, headers []string, rows [][]float64) error {
+	if o.csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(o.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return metrics.WriteCSV(f, headers, rows)
+}
+
+func runFig6(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunFig6(spacebooking.Fig6Config{Seeds: opts.seeds})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	algs := []string{"CEAR", "SSP", "ECARS", "ERU", "ERA"}
+	headers := []string{"rate"}
+	for _, a := range algs {
+		headers = append(headers, a+"_mean", a+"_std")
+	}
+	rows := make([][]float64, len(res.Rates))
+	for i, rate := range res.Rates {
+		row := []float64{rate}
+		for _, a := range algs {
+			p := res.Points[a][i]
+			row = append(row, p.Mean, p.Std)
+		}
+		rows[i] = row
+	}
+	return opts.writeCSV("fig6.csv", headers, rows)
+}
+
+func runFig7(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunFig7(spacebooking.Fig7Config{Seed: opts.seed})
+	if err != nil {
+		return err
+	}
+	dep, cong := res.Tables()
+	fmt.Println()
+	if err := dep.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cong.Render(os.Stdout); err != nil {
+		return err
+	}
+	algs := []string{"CEAR", "SSP", "ECARS", "ERU", "ERA"}
+	headers := append([]string{"slot"}, algs...)
+	buildRows := func(series map[string][]int) [][]float64 {
+		rows := make([][]float64, res.Horizon)
+		for t := 0; t < res.Horizon; t++ {
+			row := []float64{float64(t)}
+			for _, a := range algs {
+				row = append(row, float64(series[a][t]))
+			}
+			rows[t] = row
+		}
+		return rows
+	}
+	if err := opts.writeCSV("fig7_depleted.csv", headers, buildRows(res.DepletedSeries)); err != nil {
+		return err
+	}
+	return opts.writeCSV("fig7_congested.csv", headers, buildRows(res.CongestedSeries))
+}
+
+func runFig8(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunFig8(spacebooking.Fig8Config{Seed: opts.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	algs := []string{"CEAR", "SSP", "ECARS", "ERU", "ERA"}
+	headers := append([]string{"slot"}, algs...)
+	rows := make([][]float64, res.Horizon)
+	for t := 0; t < res.Horizon; t++ {
+		row := []float64{float64(t)}
+		for _, a := range algs {
+			row = append(row, res.Series[a][t])
+		}
+		rows[t] = row
+	}
+	if err := opts.writeCSV("fig8.csv", headers, rows); err != nil {
+		return err
+	}
+	fmt.Println("\ncumulative welfare ratio over time:")
+	var series []metrics.Series
+	for _, a := range algs {
+		series = append(series, metrics.Series{Name: a, Values: res.Series[a]})
+	}
+	fmt.Print(metrics.MultiSeriesPlot(series, 88))
+	return nil
+}
+
+func runFig9(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunFig9(spacebooking.Fig9Config{Seeds: []int64{opts.seed}})
+	if err != nil {
+		return err
+	}
+	valT, f2T := res.Tables()
+	fmt.Println()
+	if err := valT.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := f2T.Render(os.Stdout); err != nil {
+		return err
+	}
+	toRows := func(points []spacebooking.SweepPoint) [][]float64 {
+		rows := make([][]float64, len(points))
+		for i, p := range points {
+			rows[i] = []float64{p.X, p.Mean, p.Std}
+		}
+		return rows
+	}
+	if err := opts.writeCSV("fig9_valuation.csv", []string{"valuation", "mean", "std"}, toRows(res.ValuationSweep)); err != nil {
+		return err
+	}
+	return opts.writeCSV("fig9_f2.csv", []string{"f2", "mean", "std"}, toRows(res.F2Sweep))
+}
+
+func runAblate(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunAblations(opts.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	return res.Table().Render(os.Stdout)
+}
+
+func runAdaptive(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunAdaptiveComparison(opts.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	return res.Table().Render(os.Stdout)
+}
+
+func runCompetitive(env *spacebooking.Environment, opts runOpts) error {
+	res, err := env.RunCompetitive(0, opts.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	return res.Table().Render(os.Stdout)
+}

@@ -1,0 +1,110 @@
+// Command tracestat summarises a JSON-lines decision trace produced by
+// `cearsim -trace` (or any sim run with a trace writer): acceptance
+// counts, revenue, rejection breakdown, price quantiles, and the
+// depletion/congestion time series.
+//
+// Usage:
+//
+//	tracestat <trace.jsonl>
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"spacebooking/internal/metrics"
+	"spacebooking/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.jsonl>")
+		return 2
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+
+	records, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(records) == 0 {
+		fmt.Println("empty trace")
+		return 0
+	}
+
+	if records[0].Kind == trace.KindRunInfo {
+		info := records[0]
+		fmt.Printf("run: %s, rate %.3g req/min, seed %d\n", info.Algorithm, info.Rate, info.Seed)
+	}
+
+	summary := trace.Summarize(records)
+	fmt.Printf("requests: %d total, %d accepted (%.1f%%), %d rejected\n",
+		summary.Total, summary.Accepted,
+		100*float64(summary.Accepted)/float64(maxInt(1, summary.Total)), summary.Rejected)
+	fmt.Printf("revenue:  %.4g\n", summary.Revenue)
+
+	if len(summary.ByReason) > 0 {
+		fmt.Println("rejections by reason:")
+		reasons := make([]string, 0, len(summary.ByReason))
+		for r := range summary.ByReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Printf("  %-50.50s %d\n", r, summary.ByReason[r])
+		}
+	}
+
+	// Price quantiles over accepted requests.
+	var prices []float64
+	var hops []float64
+	var depleted, congested []int
+	maxSlot := 0
+	for _, r := range records {
+		switch r.Kind {
+		case trace.KindDecision:
+			if r.Accepted {
+				prices = append(prices, r.Price)
+				hops = append(hops, float64(r.TotalHops))
+			}
+		case trace.KindSnapshot:
+			if r.Slot > maxSlot {
+				maxSlot = r.Slot
+			}
+			depleted = append(depleted, r.Depleted)
+			congested = append(congested, r.Congested)
+		}
+	}
+	if len(prices) > 0 {
+		fmt.Printf("accepted price quantiles: p25 %s  p50 %s  p90 %s  max %s\n",
+			metrics.FormatFloat(metrics.Quantile(prices, 0.25)),
+			metrics.FormatFloat(metrics.Quantile(prices, 0.5)),
+			metrics.FormatFloat(metrics.Quantile(prices, 0.9)),
+			metrics.FormatFloat(metrics.Quantile(prices, 1)))
+		mean, _ := metrics.MeanStd(hops)
+		fmt.Printf("mean plan hops: %s\n", metrics.FormatFloat(mean))
+	}
+	if len(depleted) > 0 {
+		fmt.Printf("depleted satellites over time:\n%s\n", metrics.Sparkline(depleted, 96))
+		fmt.Printf("congested links over time:\n%s\n", metrics.Sparkline(congested, 96))
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

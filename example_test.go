@@ -1,0 +1,47 @@
+package spacebooking_test
+
+import (
+	"fmt"
+
+	"spacebooking"
+	"spacebooking/internal/core"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/workload"
+)
+
+// Build a small environment, create CEAR over a fresh resource state,
+// and submit one reserved-bandwidth request — the library's core loop.
+func Example() {
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: spacebooking.ScaleSmall})
+	if err != nil {
+		panic(err)
+	}
+	state, err := netstate.New(env.Provider, spacebooking.PaperEnergyConfig(), false)
+	if err != nil {
+		panic(err)
+	}
+	params, err := spacebooking.PaperPricing()
+	if err != nil {
+		panic(err)
+	}
+	cear, err := core.New(state, core.Options{Pricing: params})
+	if err != nil {
+		panic(err)
+	}
+
+	decision, err := cear.Handle(workload.Request{
+		ID:  1,
+		Src: env.Pairs[0].Src, Dst: env.Pairs[0].Dst,
+		StartSlot: 10, EndSlot: 14,
+		RateMbps:  1250,
+		Valuation: env.DefaultValuation(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("satellites: %d, horizon: %d min\n", env.Provider.NumSats(), env.Provider.Horizon())
+	fmt.Printf("accepted: %v, slot paths: %d\n", decision.Accepted, len(decision.Plan.Paths))
+	// Output:
+	// satellites: 96, horizon: 96 min
+	// accepted: true, slot paths: 5
+}

@@ -1,0 +1,121 @@
+// Disaster monitoring: the paper's motivating Earth-observation
+// scenario (Fig. 1). A wildfire-monitoring EO satellite must downlink
+// imagery to a ground analytics centre in near-real time, relayed
+// through the broadband LSN. The example books reserved capacity for
+// repeated downlink windows as the EO satellite orbits, and shows how
+// CEAR's pricing steers each window onto healthy relays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacebooking"
+	"spacebooking/internal/core"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Include the synthetic sun-synchronous EO fleet (the stand-in for
+	// Planet Labs' 223 imaging satellites).
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{
+		Scale:          spacebooking.ScaleSmall,
+		IncludeEOFleet: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LSN: %d broadband satellites; EO fleet: %d imaging satellites\n",
+		env.Provider.NumSats(), len(env.EOFleet))
+
+	state, err := netstate.New(env.Provider, spacebooking.PaperEnergyConfig(), false)
+	if err != nil {
+		return err
+	}
+	params, err := spacebooking.PaperPricing()
+	if err != nil {
+		return err
+	}
+	cear, err := core.New(state, core.Options{Pricing: params})
+	if err != nil {
+		return err
+	}
+
+	// The wildfire team's analytics centre is the highest-GDP covered
+	// site; the imaging satellite is EO-7.
+	groundIdx := 0
+	eoIdx := 7
+	eo := topology.Endpoint{Kind: topology.EndpointSpace, Index: eoIdx}
+	ground := topology.Endpoint{Kind: topology.EndpointGround, Index: groundIdx}
+	fmt.Printf("downlink: %s -> analytics centre at (%.1f, %.1f)\n\n",
+		env.EOFleet[eoIdx].Name, env.Sites[groundIdx].LatDeg, env.Sites[groundIdx].LonDeg)
+
+	// Contact windows: maximal runs of slots where the EO satellite can
+	// reach the LSN at all. Imagery downlinks are booked at the start of
+	// each window.
+	windows, err := env.Provider.ContactWindows(eo)
+	if err != nil {
+		return err
+	}
+	coverage, err := env.Provider.CoverageFraction(eo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EO satellite has %d contact windows covering %.0f%% of the horizon\n",
+		len(windows), 100*coverage)
+	if len(windows) == 0 {
+		fmt.Println("no contact windows in this horizon; try a longer run")
+		return nil
+	}
+
+	accepted, rejected := 0, 0
+	booked := 0
+	for _, w := range windows {
+		if booked >= 12 {
+			break
+		}
+		start := w.StartSlot
+		// A 500 Mbps imagery dump for up to 3 minutes (truncated to the
+		// contact window if it closes earlier).
+		end := start + 2
+		if end > w.EndSlot {
+			end = w.EndSlot
+		}
+		req := workload.Request{
+			ID:        booked,
+			Src:       eo,
+			Dst:       ground,
+			StartSlot: start,
+			EndSlot:   end,
+			RateMbps:  500,
+			Valuation: 2.3e9,
+		}
+		booked++
+		d, err := cear.Handle(req)
+		if err != nil {
+			return err
+		}
+		if d.Accepted {
+			accepted++
+			hops := d.Plan.Paths[0].Path.Hops()
+			fmt.Printf("window t=%3d..%3d: BOOKED  price %10.4g, first-slot path %d hops\n",
+				start, end, d.Price, hops)
+		} else {
+			rejected++
+			fmt.Printf("window t=%3d..%3d: DENIED  %s\n", start, end, d.Reason)
+		}
+	}
+
+	fmt.Printf("\n%d windows booked, %d denied\n", accepted, rejected)
+	fmt.Printf("relay batteries below 20%% at final slot: %d\n",
+		state.DepletedSatCount(env.Provider.Horizon()-1, 0.2))
+	return nil
+}

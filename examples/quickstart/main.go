@@ -1,0 +1,85 @@
+// Quickstart: build a small LSN environment, submit a handful of
+// reserved-bandwidth requests through CEAR, and inspect the decisions —
+// the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacebooking"
+	"spacebooking/internal/core"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Build the environment: a small Walker shell (96 satellites),
+	// GDP-filtered ground sites, and the per-slot dynamic topology.
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: spacebooking.ScaleSmall})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("constellation: %d satellites, horizon %d minutes, %d candidate sites\n",
+		env.Provider.NumSats(), env.Provider.Horizon(), len(env.Sites))
+
+	// 2. Create the resource state (link ledgers + per-satellite battery
+	// ledgers with solar input from the eclipse model) and the CEAR
+	// algorithm with the paper's pricing parameters (μ1 = μ2 = 402).
+	state, err := netstate.New(env.Provider, spacebooking.PaperEnergyConfig(), false)
+	if err != nil {
+		return err
+	}
+	params, err := spacebooking.PaperPricing()
+	if err != nil {
+		return err
+	}
+	cear, err := core.New(state, core.Options{Pricing: params})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CEAR ready: competitive ratio bound %.1f\n\n", params.CompetitiveRatio())
+
+	// 3. Submit online requests between the environment's first
+	// source-destination pair and watch the pricing respond to load.
+	pair := env.Pairs[0]
+	src := env.Sites[pair.Src.Index]
+	dst := env.Sites[pair.Dst.Index]
+	fmt.Printf("requesting reserved 1.25 Gbps sessions from (%.1f, %.1f) to (%.1f, %.1f):\n\n",
+		src.LatDeg, src.LonDeg, dst.LatDeg, dst.LonDeg)
+
+	for i := 0; i < 8; i++ {
+		req := workload.Request{
+			ID:        i,
+			Src:       pair.Src,
+			Dst:       pair.Dst,
+			StartSlot: 10,
+			EndSlot:   14, // five reserved minutes
+			RateMbps:  1250,
+			Valuation: 2.3e9,
+		}
+		decision, err := cear.Handle(req)
+		if err != nil {
+			return err
+		}
+		if decision.Accepted {
+			fmt.Printf("request %d: ACCEPTED  price %12.4g  (%d slot-paths, %d total hops)\n",
+				i, decision.Price, len(decision.Plan.Paths), decision.Plan.TotalHops())
+		} else {
+			fmt.Printf("request %d: REJECTED  %s\n", i, decision.Reason)
+		}
+	}
+
+	// 4. Inspect what the reservations did to the network.
+	fmt.Printf("\nnetwork state after admission:\n")
+	fmt.Printf("  active links:        %d\n", state.NumActiveLinks())
+	fmt.Printf("  congested links @12: %d (residual < 10%% of capacity)\n", state.CongestedLinkCount(12, 0.1))
+	fmt.Printf("  depleted sats  @12:  %d (battery < 20%%)\n", state.DepletedSatCount(12, 0.2))
+	return nil
+}

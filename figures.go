@@ -1,0 +1,599 @@
+package spacebooking
+
+import (
+	"fmt"
+
+	"spacebooking/internal/metrics"
+	"spacebooking/internal/offline"
+	"spacebooking/internal/pricing"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/workload"
+)
+
+// DefaultSeeds are the five seeds behind the paper's error bars.
+var DefaultSeeds = []int64{101, 202, 303, 404, 505}
+
+// SweepRates returns the arrival-rate sweep of Fig. 6, scaled around the
+// environment's default rate: ×{0.5, 1, 1.5, 2, 2.5}. At ScaleFull with
+// the paper default of 10/min this is exactly {5, 10, 15, 20, 25}.
+func (e *Environment) SweepRates() []float64 {
+	base := e.arrivalRate
+	return []float64{0.5 * base, base, 1.5 * base, 2 * base, 2.5 * base}
+}
+
+// SweepPoint is one (x, mean, std) sample of a sweep.
+type SweepPoint struct {
+	X    float64
+	Mean float64
+	Std  float64
+}
+
+// Fig6Config parameterises the Fig. 6 reproduction.
+type Fig6Config struct {
+	// Rates overrides the arrival-rate sweep (default: SweepRates()).
+	Rates []float64
+	// Seeds overrides the random seeds (default: DefaultSeeds).
+	Seeds []int64
+	// Algorithms overrides the algorithm set (default: the paper's five).
+	Algorithms []sim.AlgorithmKind
+}
+
+// Fig6Result holds the social-welfare-ratio sweep of Fig. 6.
+type Fig6Result struct {
+	Rates []float64
+	// Points[alg name][i] is the welfare ratio at Rates[i].
+	Points map[string][]SweepPoint
+}
+
+// RunFig6 reproduces Fig. 6: social welfare ratio for every algorithm
+// under the default setting and an arrival-rate sweep, averaged over
+// seeds with standard deviations.
+func (e *Environment) RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	rates := cfg.Rates
+	if len(rates) == 0 {
+		rates = e.SweepRates()
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	algs := cfg.Algorithms
+	if len(algs) == 0 {
+		algs = sim.PaperAlgorithms()
+	}
+
+	out := &Fig6Result{Rates: rates, Points: make(map[string][]SweepPoint, len(algs))}
+	for _, alg := range algs {
+		points := make([]SweepPoint, 0, len(rates))
+		for _, rate := range rates {
+			ratios := make([]float64, 0, len(seeds))
+			for _, seed := range seeds {
+				rc, err := e.RunConfig(alg, e.WorkloadConfig(rate, seed))
+				if err != nil {
+					return nil, err
+				}
+				res, err := e.Run(rc)
+				if err != nil {
+					return nil, fmt.Errorf("fig6 %s rate %v seed %d: %w", alg, rate, seed, err)
+				}
+				ratios = append(ratios, res.WelfareRatio)
+			}
+			mean, std := metrics.MeanStd(ratios)
+			points = append(points, SweepPoint{X: rate, Mean: mean, Std: std})
+			e.logf("fig6 %-8s rate %-6.3g welfare %.3f ± %.3f", alg, rate, mean, std)
+		}
+		out.Points[alg.String()] = points
+	}
+	return out, nil
+}
+
+// Table renders the Fig. 6 result as "algorithm × arrival rate".
+func (r *Fig6Result) Table() *metrics.Table {
+	cols := make([]string, 0, len(r.Rates)+1)
+	cols = append(cols, "algorithm")
+	for _, rate := range r.Rates {
+		cols = append(cols, fmt.Sprintf("rate=%s", metrics.FormatFloat(rate)))
+	}
+	t := metrics.NewTable("Fig. 6 — social welfare ratio vs request arrival rate (mean ± std over seeds)", cols...)
+	for _, name := range []string{"CEAR", "SSP", "ECARS", "ERU", "ERA"} {
+		points, ok := r.Points[name]
+		if !ok {
+			continue
+		}
+		cells := make([]string, 0, len(points)+1)
+		cells = append(cells, name)
+		for _, p := range points {
+			cells = append(cells, fmt.Sprintf("%.3f±%.3f", p.Mean, p.Std))
+		}
+		t.AddRow(cells...)
+	}
+	// Any non-paper algorithms (ablations) go after.
+	for name, points := range r.Points {
+		switch name {
+		case "CEAR", "SSP", "ECARS", "ERU", "ERA":
+			continue
+		}
+		cells := make([]string, 0, len(points)+1)
+		cells = append(cells, name)
+		for _, p := range points {
+			cells = append(cells, fmt.Sprintf("%.3f±%.3f", p.Mean, p.Std))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig7Config parameterises the Fig. 7 reproduction.
+type Fig7Config struct {
+	// EnergyRate is the arrival rate of the depleted-satellites subplot
+	// (paper: default rate).
+	EnergyRate float64
+	// CongestionRate is the rate of the congested-links subplot
+	// (paper: 25/min — 2.5× the default).
+	CongestionRate float64
+	Seed           int64
+	Algorithms     []sim.AlgorithmKind
+}
+
+// Fig7Result holds the two time-series families of Fig. 7.
+type Fig7Result struct {
+	// DepletedSeries[alg][t]: satellites below 20% battery at slot t.
+	DepletedSeries map[string][]int
+	// CongestedSeries[alg][t]: links below 10% residual at slot t.
+	CongestedSeries map[string][]int
+	Horizon         int
+}
+
+// RunFig7 reproduces Fig. 7: the evolution of energy-depleted satellites
+// (at the default rate) and congested links (at 2.5× the default rate)
+// over the simulation horizon.
+func (e *Environment) RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	if cfg.EnergyRate == 0 {
+		cfg.EnergyRate = e.arrivalRate
+	}
+	if cfg.CongestionRate == 0 {
+		cfg.CongestionRate = 2.5 * e.arrivalRate
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeeds[0]
+	}
+	algs := cfg.Algorithms
+	if len(algs) == 0 {
+		algs = sim.PaperAlgorithms()
+	}
+	out := &Fig7Result{
+		DepletedSeries:  make(map[string][]int, len(algs)),
+		CongestedSeries: make(map[string][]int, len(algs)),
+		Horizon:         e.Provider.Horizon(),
+	}
+	for _, alg := range algs {
+		rc, err := e.RunConfig(alg, e.WorkloadConfig(cfg.EnergyRate, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 energy %s: %w", alg, err)
+		}
+		out.DepletedSeries[alg.String()] = res.DepletedPerSlot
+
+		rc, err = e.RunConfig(alg, e.WorkloadConfig(cfg.CongestionRate, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		res, err = e.Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 congestion %s: %w", alg, err)
+		}
+		out.CongestedSeries[alg.String()] = res.CongestedPerSlot
+		e.logf("fig7 %-8s mean depleted %.2f, mean congested %.2f",
+			alg, meanInts(out.DepletedSeries[alg.String()]), meanInts(out.CongestedSeries[alg.String()]))
+	}
+	return out, nil
+}
+
+func meanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+func maxInts(xs []int) int {
+	max := 0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Tables renders Fig. 7 as two summary tables (mean and peak per
+// algorithm) — the textual equivalent of the paper's two subplots.
+func (r *Fig7Result) Tables() (depleted, congested *metrics.Table) {
+	depleted = metrics.NewTable("Fig. 7 (left) — energy-depleted satellites over time",
+		"algorithm", "mean", "peak", "final")
+	congested = metrics.NewTable("Fig. 7 (right) — congested links over time (high rate)",
+		"algorithm", "mean", "peak", "final")
+	for _, name := range []string{"CEAR", "SSP", "ECARS", "ERU", "ERA"} {
+		if s, ok := r.DepletedSeries[name]; ok {
+			depleted.AddRow(name,
+				metrics.FormatFloat(meanInts(s)),
+				fmt.Sprintf("%d", maxInts(s)),
+				fmt.Sprintf("%d", s[len(s)-1]))
+		}
+		if s, ok := r.CongestedSeries[name]; ok {
+			congested.AddRow(name,
+				metrics.FormatFloat(meanInts(s)),
+				fmt.Sprintf("%d", maxInts(s)),
+				fmt.Sprintf("%d", s[len(s)-1]))
+		}
+	}
+	return depleted, congested
+}
+
+// Fig8Config parameterises the Fig. 8 reproduction.
+type Fig8Config struct {
+	Rate       float64
+	Seed       int64
+	Algorithms []sim.AlgorithmKind
+}
+
+// Fig8Result holds the cumulative social-welfare-ratio series of Fig. 8.
+type Fig8Result struct {
+	Series  map[string][]float64
+	Horizon int
+}
+
+// RunFig8 reproduces Fig. 8: the social welfare ratio over time under
+// the default setting.
+func (e *Environment) RunFig8(cfg Fig8Config) (*Fig8Result, error) {
+	if cfg.Rate == 0 {
+		cfg.Rate = e.arrivalRate
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeeds[0]
+	}
+	algs := cfg.Algorithms
+	if len(algs) == 0 {
+		algs = sim.PaperAlgorithms()
+	}
+	out := &Fig8Result{Series: make(map[string][]float64, len(algs)), Horizon: e.Provider.Horizon()}
+	for _, alg := range algs {
+		rc, err := e.RunConfig(alg, e.WorkloadConfig(cfg.Rate, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", alg, err)
+		}
+		out.Series[alg.String()] = res.CumulativeWelfareRatio
+		e.logf("fig8 %-8s final cumulative welfare %.3f", alg, res.WelfareRatio)
+	}
+	return out, nil
+}
+
+// Table renders Fig. 8 as welfare-ratio checkpoints at quarter marks of
+// the horizon.
+func (r *Fig8Result) Table() *metrics.Table {
+	marks := []int{r.Horizon / 4, r.Horizon / 2, 3 * r.Horizon / 4, r.Horizon - 1}
+	t := metrics.NewTable("Fig. 8 — cumulative social welfare ratio over time",
+		"algorithm",
+		fmt.Sprintf("t=%d", marks[0]),
+		fmt.Sprintf("t=%d", marks[1]),
+		fmt.Sprintf("t=%d", marks[2]),
+		fmt.Sprintf("t=%d (final)", marks[3]))
+	for _, name := range []string{"CEAR", "SSP", "ECARS", "ERU", "ERA"} {
+		s, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", s[marks[0]]),
+			fmt.Sprintf("%.3f", s[marks[1]]),
+			fmt.Sprintf("%.3f", s[marks[2]]),
+			fmt.Sprintf("%.3f", s[marks[3]]))
+	}
+	return t
+}
+
+// Fig9Config parameterises the Fig. 9 reproduction (CEAR only).
+type Fig9Config struct {
+	// Valuations sweeps ρ. The default mirrors the paper's
+	// {0.1, 0.5, 1, 2.3, 5, 10}×1e9 as the same multiples of the
+	// environment's default valuation (which IS 2.3e9 at ScaleFull).
+	Valuations []float64
+	// F2Values sweeps the energy conservativeness parameter
+	// (default {0.5, 1, 2, 4, 8}).
+	F2Values []float64
+	Rate     float64
+	Seeds    []int64
+}
+
+// Fig9Result holds the valuation and F2 sweeps of Fig. 9.
+type Fig9Result struct {
+	ValuationSweep []SweepPoint
+	F2Sweep        []SweepPoint
+}
+
+// RunFig9 reproduces Fig. 9: CEAR's social welfare ratio under different
+// request valuations and under different conservativeness parameters F2.
+func (e *Environment) RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	if len(cfg.Valuations) == 0 {
+		base := e.valuation
+		for _, m := range []float64{0.1 / 2.3, 0.5 / 2.3, 1 / 2.3, 1, 5 / 2.3, 10 / 2.3} {
+			cfg.Valuations = append(cfg.Valuations, m*base)
+		}
+	}
+	if len(cfg.F2Values) == 0 {
+		cfg.F2Values = []float64{0.5, 1, 2, 4, 8}
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = e.arrivalRate
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds[:2]
+	}
+
+	out := &Fig9Result{}
+	for _, valuation := range cfg.Valuations {
+		ratios := make([]float64, 0, len(seeds))
+		for _, seed := range seeds {
+			wl := e.WorkloadConfig(cfg.Rate, seed)
+			wl.Valuation = valuation
+			rc, err := e.RunConfig(sim.AlgCEAR, wl)
+			if err != nil {
+				return nil, err
+			}
+			res, err := e.Run(rc)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 valuation %v: %w", valuation, err)
+			}
+			ratios = append(ratios, res.WelfareRatio)
+		}
+		mean, std := metrics.MeanStd(ratios)
+		out.ValuationSweep = append(out.ValuationSweep, SweepPoint{X: valuation, Mean: mean, Std: std})
+		e.logf("fig9 valuation %-8.3g welfare %.3f ± %.3f", valuation, mean, std)
+	}
+
+	for _, f2 := range cfg.F2Values {
+		params, err := pricing.Derive(1, f2, 20, 10)
+		if err != nil {
+			return nil, err
+		}
+		ratios := make([]float64, 0, len(seeds))
+		for _, seed := range seeds {
+			rc, err := e.RunConfig(sim.AlgCEAR, e.WorkloadConfig(cfg.Rate, seed))
+			if err != nil {
+				return nil, err
+			}
+			rc.Pricing = params
+			res, err := e.Run(rc)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 F2 %v: %w", f2, err)
+			}
+			ratios = append(ratios, res.WelfareRatio)
+		}
+		mean, std := metrics.MeanStd(ratios)
+		out.F2Sweep = append(out.F2Sweep, SweepPoint{X: f2, Mean: mean, Std: std})
+		e.logf("fig9 F2 %-6.3g welfare %.3f ± %.3f", f2, mean, std)
+	}
+	return out, nil
+}
+
+// Tables renders the two sweeps of Fig. 9.
+func (r *Fig9Result) Tables() (valuation, f2 *metrics.Table) {
+	valuation = metrics.NewTable("Fig. 9 (left) — CEAR welfare ratio vs valuation",
+		"valuation", "welfare", "std")
+	for _, p := range r.ValuationSweep {
+		valuation.AddFloatRow(metrics.FormatFloat(p.X), p.Mean, p.Std)
+	}
+	f2 = metrics.NewTable("Fig. 9 (right) — CEAR welfare ratio vs F2",
+		"F2", "welfare", "std")
+	for _, p := range r.F2Sweep {
+		f2.AddFloatRow(metrics.FormatFloat(p.X), p.Mean, p.Std)
+	}
+	return valuation, f2
+}
+
+// AblationResult compares CEAR against its ablated variants.
+type AblationResult struct {
+	// Rows, keyed by variant name: welfare ratio, mean depleted, mean
+	// congested, operator revenue.
+	Rows map[string]AblationRow
+}
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	WelfareRatio  float64
+	MeanDepleted  float64
+	MeanCongested float64
+	Revenue       float64
+}
+
+// RunAblations compares full CEAR with CEAR-NE (no energy pricing),
+// CEAR-AA (no admission control) and CEAR-LIN (linear pricing) at the
+// environment's default rate — the design-choice ablations called out in
+// DESIGN.md.
+func (e *Environment) RunAblations(seed int64) (*AblationResult, error) {
+	if seed == 0 {
+		seed = DefaultSeeds[0]
+	}
+	variants := []sim.AlgorithmKind{sim.AlgCEAR, sim.AlgCEARNoEnergy, sim.AlgCEARNoAdmission, sim.AlgCEARLinear, sim.AlgCEARAdaptive}
+	out := &AblationResult{Rows: make(map[string]AblationRow, len(variants))}
+	for _, alg := range variants {
+		rc, err := e.RunConfig(alg, e.WorkloadConfig(2*e.arrivalRate, seed))
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", alg, err)
+		}
+		out.Rows[alg.String()] = AblationRow{
+			WelfareRatio:  res.WelfareRatio,
+			MeanDepleted:  res.MeanDepleted(),
+			MeanCongested: res.MeanCongested(),
+			Revenue:       res.Revenue,
+		}
+		e.logf("ablation %-9s welfare %.3f depleted %.2f congested %.2f",
+			alg, res.WelfareRatio, res.MeanDepleted(), res.MeanCongested())
+	}
+	return out, nil
+}
+
+// Table renders the ablation comparison.
+func (r *AblationResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablations — CEAR design choices (2× default load)",
+		"variant", "welfare", "mean depleted", "mean congested", "revenue")
+	for _, name := range []string{"CEAR", "CEAR-NE", "CEAR-AA", "CEAR-LIN", "CEAR-AD"} {
+		row, ok := r.Rows[name]
+		if !ok {
+			continue
+		}
+		t.AddFloatRow(name, row.WelfareRatio, row.MeanDepleted, row.MeanCongested, row.Revenue)
+	}
+	return t
+}
+
+// CompetitiveResult reports the empirical competitive ratio of CEAR
+// against the offline greedy estimate, plus a certified bandwidth-cut
+// upper bound on OPT so the true ratio is bracketed.
+type CompetitiveResult struct {
+	OnlineWelfare    float64
+	OfflineWelfare   float64
+	UpperBound       float64
+	EmpiricalRatio   float64
+	WorstCaseRatio   float64 // UpperBound / OnlineWelfare
+	TheoreticalBound float64
+	OnlineAccepted   int
+	OfflineAccepted  int
+}
+
+// RunCompetitive runs CEAR online and the offline greedy on the same
+// workload and reports the welfare ratio between them, next to the
+// theoretical bound 2·log2(μ1μ2)+1 of Theorem 1. Note the offline greedy
+// under-estimates OPT, so the empirical ratio is an optimistic lower
+// bound (see DESIGN.md substitution #4).
+func (e *Environment) RunCompetitive(rate float64, seed int64) (*CompetitiveResult, error) {
+	if rate == 0 {
+		rate = 2 * e.arrivalRate
+	}
+	if seed == 0 {
+		seed = DefaultSeeds[0]
+	}
+	wl := e.WorkloadConfig(rate, seed)
+	rc, err := e.RunConfig(sim.AlgCEAR, wl)
+	if err != nil {
+		return nil, err
+	}
+	online, err := e.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.Generate(wl)
+	if err != nil {
+		return nil, err
+	}
+	off, err := offline.Greedy(e.Provider, rc.Energy, reqs)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := offline.CutUpperBound(e.Provider, reqs)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompetitiveResult{
+		OnlineWelfare:    online.AcceptedValuation,
+		OfflineWelfare:   off.Welfare,
+		UpperBound:       ub,
+		TheoreticalBound: rc.Pricing.CompetitiveRatio(),
+		OnlineAccepted:   online.Accepted,
+		OfflineAccepted:  off.Accepted,
+	}
+	if online.AcceptedValuation > 0 {
+		res.EmpiricalRatio = off.Welfare / online.AcceptedValuation
+		res.WorstCaseRatio = ub / online.AcceptedValuation
+	}
+	e.logf("competitive: online %d accepted, offline %d, ratio %.3f (<= %.3f certified, bound %.1f)",
+		res.OnlineAccepted, res.OfflineAccepted, res.EmpiricalRatio, res.WorstCaseRatio, res.TheoreticalBound)
+	return res, nil
+}
+
+// Table renders the competitive-ratio comparison.
+func (r *CompetitiveResult) Table() *metrics.Table {
+	t := metrics.NewTable("Empirical competitive ratio (offline greedy estimate vs CEAR)",
+		"metric", "value")
+	t.AddRow("online accepted", fmt.Sprintf("%d", r.OnlineAccepted))
+	t.AddRow("offline accepted", fmt.Sprintf("%d", r.OfflineAccepted))
+	t.AddFloatRow("online welfare", r.OnlineWelfare)
+	t.AddFloatRow("offline welfare (greedy est.)", r.OfflineWelfare)
+	t.AddFloatRow("certified OPT upper bound", r.UpperBound)
+	t.AddFloatRow("empirical ratio (vs greedy)", r.EmpiricalRatio)
+	t.AddFloatRow("worst-case ratio (vs UB)", r.WorstCaseRatio)
+	t.AddFloatRow("theoretical bound (Thm. 1)", r.TheoreticalBound)
+	return t
+}
+
+// AdaptiveResult compares static CEAR with the §V-B adaptive controller
+// under a strongly time-varying (diurnal) load.
+type AdaptiveResult struct {
+	StaticWelfare    float64
+	AdaptiveWelfare  float64
+	StaticDepleted   float64
+	AdaptiveDepleted float64
+}
+
+// RunAdaptiveComparison runs CEAR and CEAR-AD on the same diurnal
+// workload (sinusoidal arrival modulation, ±80% around 2× the default
+// rate) — the scenario §V-B's dynamic F1/F2 adjustment targets.
+func (e *Environment) RunAdaptiveComparison(seed int64) (*AdaptiveResult, error) {
+	if seed == 0 {
+		seed = DefaultSeeds[0]
+	}
+	profile, err := workload.DiurnalProfile(e.Provider.Horizon()/2, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	run := func(alg sim.AlgorithmKind) (*sim.Result, error) {
+		wl := e.WorkloadConfig(2*e.arrivalRate, seed)
+		wl.RateProfile = profile
+		rc, err := e.RunConfig(alg, wl)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run(rc)
+	}
+	static, err := run(sim.AlgCEAR)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive comparison (static): %w", err)
+	}
+	adaptiveRes, err := run(sim.AlgCEARAdaptive)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive comparison (adaptive): %w", err)
+	}
+	out := &AdaptiveResult{
+		StaticWelfare:    static.WelfareRatio,
+		AdaptiveWelfare:  adaptiveRes.WelfareRatio,
+		StaticDepleted:   static.MeanDepleted(),
+		AdaptiveDepleted: adaptiveRes.MeanDepleted(),
+	}
+	e.logf("adaptive: static %.3f vs adaptive %.3f welfare", out.StaticWelfare, out.AdaptiveWelfare)
+	return out, nil
+}
+
+// Table renders the adaptive comparison.
+func (r *AdaptiveResult) Table() *metrics.Table {
+	t := metrics.NewTable("Adaptive parameter setting (§V-B) under diurnal load",
+		"variant", "welfare", "mean depleted")
+	t.AddFloatRow("CEAR (static F)", r.StaticWelfare, r.StaticDepleted)
+	t.AddFloatRow("CEAR-AD (adaptive F)", r.AdaptiveWelfare, r.AdaptiveDepleted)
+	return t
+}

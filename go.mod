@@ -1,0 +1,3 @@
+module spacebooking
+
+go 1.22

@@ -1,0 +1,262 @@
+// Package core implements CEAR — the Congestion and Energy-Aware pricing
+// and resource Reservation algorithm of the paper (Algorithm 1).
+//
+// For each online request, CEAR prices every resource with the current
+// network state: link bandwidth at (μ1^λ_e − 1) per Mbps (Eq. (10)) and
+// satellite battery deficit at (μ2^λ_s − 1) per joule (Eq. (11)), where a
+// consumption's deficit is priced over every future slot it persists
+// into (Eq. (12)). It then finds the min-price per-slot paths, accepts
+// the request iff the total plan price does not exceed the user's
+// valuation ρ_i, and commits the reservations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spacebooking/internal/graph"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/pricing"
+	"spacebooking/internal/router"
+	"spacebooking/internal/workload"
+)
+
+// Options configures CEAR and its ablation variants.
+type Options struct {
+	// Pricing holds μ1/μ2 and the conservativeness parameters.
+	Pricing pricing.Params
+	// MaxHops, when positive, routes with the hop-limited search (the
+	// paper's n); zero uses unbounded Dijkstra, which is faster and — on
+	// LEO grids, where price grows with hops — yields the same paths in
+	// practice.
+	MaxHops int
+
+	// DisableEnergyPricing zeroes the energy term of Eq. (12) while
+	// keeping battery feasibility (ablation "CEAR-NE").
+	DisableEnergyPricing bool
+	// DisableAdmission accepts every feasible plan regardless of price
+	// (ablation "CEAR-AA": pricing only steers routing).
+	DisableAdmission bool
+	// LinearPricing replaces the exponential price μ^λ − 1 with the
+	// linear (μ−1)·λ (ablation "CEAR-LIN").
+	LinearPricing bool
+}
+
+// CEAR is the online pricing and reservation algorithm. It owns a
+// strict-mode (non-clamping) resource state: constraint (7c) is enforced.
+type CEAR struct {
+	state *netstate.State
+	opts  Options
+	// fast is the table-backed price evaluator; the deficit-pricing
+	// inner loop calls it once per persisted slot.
+	fast *pricing.FastPricer
+
+	// Epoch-stamped transit-cost cache, reused across searches to avoid
+	// per-slot map allocation: one entry per (satellite, in, out) role.
+	cacheVals  []float64
+	cacheEpoch []uint32
+	epoch      uint32
+}
+
+var _ router.Algorithm = (*CEAR)(nil)
+
+// New builds a CEAR instance over the given resource state. The state
+// must use strict (non-clamping) batteries; CEAR never drives a battery
+// below empty.
+func New(state *netstate.State, opts Options) (*CEAR, error) {
+	if state == nil {
+		return nil, fmt.Errorf("core: nil state")
+	}
+	if err := opts.Pricing.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxHops < 0 {
+		return nil, fmt.Errorf("core: negative max hops %d", opts.MaxHops)
+	}
+	slots := state.Provider().NumSats() * 16
+	return &CEAR{
+		state:      state,
+		opts:       opts,
+		fast:       opts.Pricing.Fast(),
+		cacheVals:  make([]float64, slots),
+		cacheEpoch: make([]uint32, slots),
+	}, nil
+}
+
+// Name implements router.Algorithm.
+func (c *CEAR) Name() string {
+	switch {
+	case c.opts.DisableEnergyPricing:
+		return "CEAR-NE"
+	case c.opts.DisableAdmission:
+		return "CEAR-AA"
+	case c.opts.LinearPricing:
+		return "CEAR-LIN"
+	default:
+		return "CEAR"
+	}
+}
+
+// State exposes the resource state for metric collection.
+func (c *CEAR) State() *netstate.State { return c.state }
+
+// congestionUnitPrice returns the bandwidth price per Mbps at the given
+// utilization: σ_e/c_e per Eq. (10), or its linear ablation.
+func (c *CEAR) congestionUnitPrice(lambda float64) float64 {
+	if c.opts.LinearPricing {
+		return (c.opts.Pricing.Mu1 - 1) * lambda
+	}
+	return c.fast.CongestionUnitCost(lambda)
+}
+
+// energyUnitPrice returns the battery price per joule of deficit at the
+// given utilization: σ_s/ϖ_s per Eq. (11), or its linear ablation.
+func (c *CEAR) energyUnitPrice(lambda float64) float64 {
+	if c.opts.LinearPricing {
+		return (c.opts.Pricing.Mu2 - 1) * lambda
+	}
+	return c.fast.EnergyUnitCost(lambda)
+}
+
+// energyTransitCost prices the energy a satellite would spend carrying
+// the request in one slot: Σ_{t ≥ T_a} price(λ_s(t)) · Ω̄_s(T_a, t, i),
+// the second term of Eq. (12) for one (satellite, slot). Returns +Inf if
+// the consumption alone would breach constraint (7c).
+func (c *CEAR) energyTransitCost(sat, slot int, joules float64) float64 {
+	if joules <= 0 {
+		return 0
+	}
+	b := c.state.Battery(sat)
+	capJ := b.CapacityJ()
+	cost := 0.0
+	feasible := true
+	b.VisitDeficit(slot, joules, func(t int, outstanding float64) bool {
+		if b.DeficitAt(t)+outstanding > capJ*(1+1e-12) {
+			feasible = false
+			return false
+		}
+		if !c.opts.DisableEnergyPricing {
+			cost += c.energyUnitPrice(b.UtilizationAt(t)) * outstanding
+		}
+		return true
+	})
+	if !feasible {
+		return math.Inf(1)
+	}
+	return cost
+}
+
+// Handle implements Algorithm 1 for one online request.
+func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
+	if err := req.Validate(c.state.Provider().Horizon()); err != nil {
+		return router.Decision{}, fmt.Errorf("core: %w", err)
+	}
+
+	slotSec := c.state.Provider().Config().SlotSeconds
+	energyCfg := c.state.EnergyConfig()
+
+	totalPrice := 0.0
+	plan := router.Plan{Paths: make([]router.SlotPath, 0, req.DurationSlots())}
+
+	// hopEpsilon breaks price ties toward shorter paths: on an idle
+	// network every exponential price is exactly zero (μ^0 − 1), and
+	// without a tie-break the min-price "plan" could be an arbitrarily
+	// long walk that wastes bandwidth and energy network-wide. The value
+	// is small enough to never override a real price difference.
+	const hopEpsilon = 1e-6
+
+	// Lines 1-5 of Algorithm 1, with one practical refinement: slots are
+	// priced, searched and committed in order inside a transaction, so
+	// each slot's search observes the request's *own* earlier slots'
+	// consumption (the paper prices all slots against the pre-request
+	// state, which under the evaluation's assumption-violating valuations
+	// can produce jointly energy-infeasible plans — see DESIGN.md). If
+	// any slot is unroutable or the total price exceeds ρ_i, the
+	// transaction rolls back and the network is untouched.
+	txn := c.state.Begin()
+	for slot := req.StartSlot; slot <= req.EndSlot; slot++ {
+		demand := req.RateAt(slot)
+		edgeCost := func(key netstate.LinkKey, class graph.EdgeClass, capacity, utilization float64) float64 {
+			return c.congestionUnitPrice(utilization)*demand + hopEpsilon
+		}
+		view, err := netstate.NewView(c.state, slot, req.Src, req.Dst, demand, edgeCost)
+		if err != nil {
+			txn.Rollback()
+			return router.Decision{}, fmt.Errorf("core: request %d slot %d: %w", req.ID, slot, err)
+		}
+
+		// Memoise the role-dependent energy transit cost per satellite
+		// for this search, via the epoch-stamped cache.
+		c.epoch++
+		epoch := c.epoch
+		transit := func(node int, in, out graph.EdgeClass) float64 {
+			key := node*16 + int(in)*4 + int(out)
+			if c.cacheEpoch[key] == epoch {
+				return c.cacheVals[key]
+			}
+			joules := energyCfg.TransitEnergyJ(in, out, demand, slotSec)
+			v := c.energyTransitCost(node, slot, joules)
+			c.cacheVals[key] = v
+			c.cacheEpoch[key] = epoch
+			return v
+		}
+
+		var path graph.Path
+		var ok bool
+		if c.opts.MaxHops > 0 {
+			path, ok = graph.ShortestPathHopLimited(view, view.SrcNode(), view.DstNode(), c.opts.MaxHops, transit)
+		} else {
+			path, ok = graph.ShortestPath(view, view.SrcNode(), view.DstNode(), transit)
+		}
+		if !ok {
+			txn.Rollback()
+			return router.Decision{
+				Reason: fmt.Sprintf("no feasible path at slot %d", slot),
+			}, nil
+		}
+		totalPrice += path.Cost
+		plan.Paths = append(plan.Paths, router.SlotPath{Slot: slot, Path: path})
+
+		// The transit mask checks each (satellite, role) consumption
+		// independently, but a path may visit one satellite in two roles
+		// (e.g. ingress and egress gateway of the same slot) whose
+		// consumptions are individually feasible yet jointly not — trial
+		// the slot as a whole before committing.
+		consumptions := view.PathConsumptions(path)
+		if err := c.state.TrialConsume(consumptions); err != nil {
+			txn.Rollback()
+			return router.Decision{
+				Reason: fmt.Sprintf("energy infeasible at slot %d: %v", slot, err),
+			}, nil
+		}
+
+		// Lines 7-16: reserve this slot's bandwidth and apply its energy
+		// consumption so the next slot's search prices the updated state.
+		if err := txn.ReservePath(view, path); err != nil {
+			txn.Rollback()
+			return router.Decision{}, fmt.Errorf("core: request %d commit: %w", req.ID, err)
+		}
+		if err := txn.Consume(consumptions); err != nil {
+			txn.Rollback()
+			return router.Decision{}, fmt.Errorf("core: request %d energy commit (slot %d, path %v): %w",
+				req.ID, slot, path.Nodes, err)
+		}
+	}
+
+	// Line 6: admission control — compare the plan price with ρ_i.
+	if !c.opts.DisableAdmission && totalPrice > req.Valuation {
+		txn.Rollback()
+		return router.Decision{
+			Price:  totalPrice,
+			Reason: fmt.Sprintf("plan price %.3g exceeds valuation %.3g", totalPrice, req.Valuation),
+			Plan:   plan,
+		}, nil
+	}
+
+	txn.Commit()
+	return router.Decision{
+		Accepted: true,
+		Price:    totalPrice,
+		Plan:     plan,
+	}, nil
+}

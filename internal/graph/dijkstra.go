@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// item is a priority-queue entry over (node, incoming-class) states.
+type item struct {
+	state int
+	dist  float64
+}
+
+type priorityQueue []item
+
+func (pq priorityQueue) Len() int            { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool  { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)       { pq[i], pq[j] = pq[j], pq[i] }
+func (pq *priorityQueue) Push(x interface{}) { *pq = append(*pq, x.(item)) }
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	*pq = old[:n-1]
+	return it
+}
+
+// predLink records how a search state was reached.
+type predLink struct {
+	state int
+	edge  Edge
+}
+
+// ShortestPath runs Dijkstra from src to dst over any Adjacency.
+//
+// When transit is nil it is plain Dijkstra over edge costs. When transit
+// is non-nil the search runs over (node, incoming-edge-class) states and
+// charges transit(node, in, out) each time the search leaves a node —
+// this is how CEAR folds Eq. (1)'s role-dependent satellite energy cost
+// into path search: the role of a satellite (relay, ingress gateway,
+// egress gateway) is exactly the pair of its incoming and outgoing link
+// classes.
+//
+// Edges with +Inf cost and node transits with +Inf cost are skipped.
+// The second return value is false when dst is unreachable.
+func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, bool) {
+	n := g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Nodes: []int{src}}, true
+	}
+
+	// State encoding: node*numClasses + int(inClass).
+	numStates := n * numClasses
+	dist := make([]float64, numStates)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]predLink, numStates)
+	for i := range prev {
+		prev[i].state = -1
+	}
+
+	start := src*numClasses + int(ClassNone)
+	dist[start] = 0
+	pq := priorityQueue{{state: start, dist: 0}}
+
+	for len(pq) > 0 {
+		cur := heap.Pop(&pq).(item)
+		if cur.dist > dist[cur.state] {
+			continue // stale entry
+		}
+		node := cur.state / numClasses
+		inClass := EdgeClass(cur.state % numClasses)
+		if node == dst {
+			// First settle of the destination is optimal over all
+			// incoming classes (dst pays no transit).
+			return reconstruct(prev, cur.state, cur.dist), true
+		}
+
+		g.VisitNeighbors(node, func(e Edge) bool {
+			w := e.Cost
+			if math.IsInf(w, 1) {
+				return true
+			}
+			if transit != nil && node != src {
+				tc := transit(node, inClass, e.Class)
+				if math.IsInf(tc, 1) {
+					return true
+				}
+				w += tc
+			}
+			nextState := e.To*numClasses + int(e.Class)
+			if nd := cur.dist + w; nd < dist[nextState] {
+				dist[nextState] = nd
+				prev[nextState] = predLink{state: cur.state, edge: e}
+				heap.Push(&pq, item{state: nextState, dist: nd})
+			}
+			return true
+		})
+	}
+	return Path{}, false
+}
+
+// ShortestPath runs Dijkstra on an explicit graph; see the package-level
+// ShortestPath for semantics.
+func (g *Graph) ShortestPath(src, dst int, transit TransitCostFunc) (Path, bool) {
+	return ShortestPath(g, src, dst, transit)
+}
+
+// reconstruct walks predecessor links back to the source.
+func reconstruct(prev []predLink, dstState int, cost float64) Path {
+	var nodesRev []int
+	var edgesRev []Edge
+	s := dstState
+	for {
+		nodesRev = append(nodesRev, s/numClasses)
+		p := prev[s]
+		if p.state < 0 {
+			break
+		}
+		edgesRev = append(edgesRev, p.edge)
+		s = p.state
+	}
+	nodes := make([]int, len(nodesRev))
+	for i := range nodesRev {
+		nodes[i] = nodesRev[len(nodesRev)-1-i]
+	}
+	edges := make([]Edge, len(edgesRev))
+	for i := range edgesRev {
+		edges[i] = edgesRev[len(edgesRev)-1-i]
+	}
+	return Path{Nodes: nodes, Edges: edges, Cost: cost}
+}
+
+// ShortestPathHopLimited finds the cheapest src->dst path using at most
+// maxHops edges, via a hop-indexed Bellman-Ford DP over (node, in-class)
+// states. It supports the same transit cost semantics as ShortestPath.
+// Complexity O(maxHops * E * numClasses).
+func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitCostFunc) (Path, bool) {
+	n := g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n || maxHops < 0 {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Nodes: []int{src}}, true
+	}
+
+	numStates := n * numClasses
+	const inf = math.MaxFloat64
+	cur := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for i := range cur {
+		cur[i] = inf
+		next[i] = inf
+	}
+	type pred struct {
+		hop   int
+		state int
+		edge  Edge
+	}
+	// prevAt[h][state]: how state was reached with exactly h hops.
+	prevAt := make([][]pred, maxHops+1)
+
+	startState := src*numClasses + int(ClassNone)
+	cur[startState] = 0
+
+	bestCost := inf
+	bestHop, bestState := -1, -1
+
+	for h := 1; h <= maxHops; h++ {
+		for i := range next {
+			next[i] = inf
+		}
+		prevAt[h] = make([]pred, numStates)
+		for i := range prevAt[h] {
+			prevAt[h][i].state = -1
+		}
+		for node := 0; node < n; node++ {
+			for c := 0; c < numClasses; c++ {
+				st := node*numClasses + c
+				d := cur[st]
+				if d == inf {
+					continue
+				}
+				g.VisitNeighbors(node, func(e Edge) bool {
+					w := e.Cost
+					if math.IsInf(w, 1) {
+						return true
+					}
+					if transit != nil && node != src {
+						tc := transit(node, EdgeClass(c), e.Class)
+						if math.IsInf(tc, 1) {
+							return true
+						}
+						w += tc
+					}
+					ns := e.To*numClasses + int(e.Class)
+					if nd := d + w; nd < next[ns] {
+						next[ns] = nd
+						prevAt[h][ns] = pred{hop: h - 1, state: st, edge: e}
+					}
+					return true
+				})
+			}
+		}
+		cur, next = next, cur
+		for c := 0; c < numClasses; c++ {
+			st := dst*numClasses + c
+			if cur[st] < bestCost {
+				bestCost = cur[st]
+				bestHop, bestState = h, st
+			}
+		}
+		// No early exit: a longer path can still be cheaper.
+	}
+
+	if bestState < 0 {
+		return Path{}, false
+	}
+
+	// Reconstruct through the hop-indexed predecessors.
+	nodesRev := []int{bestState / numClasses}
+	var edgesRev []Edge
+	h, st := bestHop, bestState
+	for h > 0 {
+		p := prevAt[h][st]
+		if p.state < 0 {
+			break
+		}
+		edgesRev = append(edgesRev, p.edge)
+		nodesRev = append(nodesRev, p.state/numClasses)
+		h, st = p.hop, p.state
+	}
+	nodes := make([]int, len(nodesRev))
+	for i := range nodesRev {
+		nodes[i] = nodesRev[len(nodesRev)-1-i]
+	}
+	edges := make([]Edge, len(edgesRev))
+	for i := range edgesRev {
+		edges[i] = edgesRev[len(edgesRev)-1-i]
+	}
+	return Path{Nodes: nodes, Edges: edges, Cost: bestCost}, true
+}
+
+// ShortestPathHopLimited is the explicit-graph form of the package-level
+// function.
+func (g *Graph) ShortestPathHopLimited(src, dst, maxHops int, transit TransitCostFunc) (Path, bool) {
+	return ShortestPathHopLimited(g, src, dst, maxHops, transit)
+}
+
+// MinHopPath returns a path with the fewest edges from src to dst via
+// breadth-first search, ignoring costs. Edges with +Inf cost are treated
+// as absent (so capacity-infeasible links can be masked the same way as
+// in the weighted searches).
+func MinHopPath(g Adjacency, src, dst int) (Path, bool) {
+	n := g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Nodes: []int{src}}, true
+	}
+	prev := make([]predLink, n)
+	for i := range prev {
+		prev[i].state = -1
+	}
+	visited := make([]bool, n)
+	visited[src] = true
+	queue := []int{src}
+	found := false
+	for len(queue) > 0 && !found {
+		node := queue[0]
+		queue = queue[1:]
+		g.VisitNeighbors(node, func(e Edge) bool {
+			if math.IsInf(e.Cost, 1) || visited[e.To] {
+				return true
+			}
+			visited[e.To] = true
+			prev[e.To] = predLink{state: node, edge: e}
+			if e.To == dst {
+				found = true
+				return false
+			}
+			queue = append(queue, e.To)
+			return true
+		})
+	}
+	if !visited[dst] {
+		return Path{}, false
+	}
+	var nodesRev []int
+	var edgesRev []Edge
+	cost := 0.0
+	for at := dst; ; {
+		nodesRev = append(nodesRev, at)
+		p := prev[at]
+		if p.state < 0 {
+			break
+		}
+		edgesRev = append(edgesRev, p.edge)
+		cost += p.edge.Cost
+		at = p.state
+	}
+	nodes := make([]int, len(nodesRev))
+	for i := range nodesRev {
+		nodes[i] = nodesRev[len(nodesRev)-1-i]
+	}
+	edges := make([]Edge, len(edgesRev))
+	for i := range edgesRev {
+		edges[i] = edgesRev[len(edgesRev)-1-i]
+	}
+	return Path{Nodes: nodes, Edges: edges, Cost: cost}, true
+}
+
+// MinHopPath is the explicit-graph form of the package-level function.
+func (g *Graph) MinHopPath(src, dst int) (Path, bool) {
+	return MinHopPath(g, src, dst)
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// in ascending cost order, using Yen's algorithm on top of Dijkstra.
+// Transit costs are supported with the same semantics as ShortestPath.
+//
+// The simulator's ablation experiments use this to study whether giving
+// CEAR a diversity of candidate paths (rather than the single min-price
+// path of Algorithm 1) changes the welfare outcome.
+func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := ShortestPath(g, src, dst, transit)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		lastPath := paths[len(paths)-1]
+		// For each node in the last accepted path except the final one,
+		// consider it a spur node.
+		for spurIdx := 0; spurIdx < len(lastPath.Nodes)-1; spurIdx++ {
+			spurNode := lastPath.Nodes[spurIdx]
+			rootNodes := lastPath.Nodes[:spurIdx+1]
+			rootEdges := lastPath.Edges[:spurIdx]
+
+			// Ban edges that would recreate an already-found path with
+			// the same root, and ban root nodes (except the spur) to keep
+			// paths loopless.
+			mask := newMask(g)
+			for _, p := range paths {
+				if len(p.Nodes) > spurIdx && equalPrefix(p.Nodes, rootNodes) {
+					e := p.Edges[spurIdx]
+					mask.banEdge(spurNode, e.To, e.Payload)
+				}
+			}
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				mask.banNode(n)
+			}
+
+			spurPath, ok := ShortestPath(mask, spurNode, dst, transit)
+			if !ok {
+				continue
+			}
+
+			total := joinPaths(rootNodes, rootEdges, spurPath, transit)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Cost < candidates[j].Cost })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// KShortestPaths is the explicit-graph form of the package-level function.
+func (g *Graph) KShortestPaths(src, dst, k int, transit TransitCostFunc) []Path {
+	return KShortestPaths(g, src, dst, k, transit)
+}
+
+// maskedAdjacency overlays node and edge bans on an underlying adjacency.
+type maskedAdjacency struct {
+	base        Adjacency
+	bannedNodes map[int]bool
+	bannedEdges map[[2]int]map[int32]bool
+}
+
+func newMask(base Adjacency) *maskedAdjacency {
+	return &maskedAdjacency{
+		base:        base,
+		bannedNodes: make(map[int]bool),
+		bannedEdges: make(map[[2]int]map[int32]bool),
+	}
+}
+
+func (m *maskedAdjacency) banNode(n int) { m.bannedNodes[n] = true }
+
+func (m *maskedAdjacency) banEdge(from, to int, payload int32) {
+	key := [2]int{from, to}
+	if m.bannedEdges[key] == nil {
+		m.bannedEdges[key] = make(map[int32]bool)
+	}
+	m.bannedEdges[key][payload] = true
+}
+
+func (m *maskedAdjacency) N() int { return m.base.N() }
+
+func (m *maskedAdjacency) VisitNeighbors(node int, fn func(Edge) bool) {
+	if m.bannedNodes[node] {
+		return
+	}
+	m.base.VisitNeighbors(node, func(e Edge) bool {
+		if m.bannedNodes[e.To] {
+			return true
+		}
+		if pl := m.bannedEdges[[2]int{node, e.To}]; pl != nil && pl[e.Payload] {
+			return true
+		}
+		return fn(e)
+	})
+}
+
+// joinPaths splices root (nodes+edges) with the spur path and recomputes
+// the total cost including transit charges across the junction.
+func joinPaths(rootNodes []int, rootEdges []Edge, spur Path, transit TransitCostFunc) Path {
+	nodes := make([]int, 0, len(rootNodes)+len(spur.Nodes)-1)
+	nodes = append(nodes, rootNodes...)
+	nodes = append(nodes, spur.Nodes[1:]...)
+	edges := make([]Edge, 0, len(rootEdges)+len(spur.Edges))
+	edges = append(edges, rootEdges...)
+	edges = append(edges, spur.Edges...)
+	return Path{Nodes: nodes, Edges: edges, Cost: PathCost(nodes, edges, transit)}
+}
+
+// PathCost recomputes the full cost of a path (edge costs plus transit
+// charges at intermediate nodes), matching the accounting used by
+// ShortestPath. Returns +Inf for structurally invalid paths.
+func PathCost(nodes []int, edges []Edge, transit TransitCostFunc) float64 {
+	if len(edges) != len(nodes)-1 {
+		return math.Inf(1)
+	}
+	total := 0.0
+	for i, e := range edges {
+		total += e.Cost
+		if transit != nil && i > 0 {
+			total += transit(nodes[i], edges[i-1].Class, e.Class)
+		}
+	}
+	return total
+}
+
+func equalPrefix(nodes, prefix []int) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsPath compares by node sequence AND edge payloads, so parallel
+// edges between the same nodes yield distinct paths.
+func containsPath(paths []Path, p Path) bool {
+	for _, q := range paths {
+		if equalNodes(q.Nodes, p.Nodes) && equalPayloads(q.Edges, p.Edges) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalPayloads(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Payload != b[i].Payload {
+			return false
+		}
+	}
+	return true
+}
+
+func equalNodes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

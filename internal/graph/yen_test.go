@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKShortestPathsBasic(t *testing.T) {
+	// Classic example: three distinct routes of costs 5, 7, 8.
+	g := New(6)
+	mustAdd(t, g, 0, 1, ClassISL, 0, 3)
+	mustAdd(t, g, 1, 5, ClassISL, 0, 2) // 0-1-5: 5
+	mustAdd(t, g, 0, 2, ClassISL, 0, 2)
+	mustAdd(t, g, 2, 5, ClassISL, 0, 5) // 0-2-5: 7
+	mustAdd(t, g, 0, 3, ClassISL, 0, 4)
+	mustAdd(t, g, 3, 4, ClassISL, 0, 2)
+	mustAdd(t, g, 4, 5, ClassISL, 0, 2) // 0-3-4-5: 8
+
+	paths := g.KShortestPaths(0, 5, 3, nil)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	wantCosts := []float64{5, 7, 8}
+	for i, p := range paths {
+		if math.Abs(p.Cost-wantCosts[i]) > 1e-9 {
+			t.Errorf("path %d cost = %v, want %v", i, p.Cost, wantCosts[i])
+		}
+	}
+}
+
+func TestKShortestPathsLoopless(t *testing.T) {
+	g := New(5)
+	// Dense-ish graph with a cycle 1->2->3->1.
+	mustAdd(t, g, 0, 1, ClassISL, 0, 1)
+	mustAdd(t, g, 1, 2, ClassISL, 0, 1)
+	mustAdd(t, g, 2, 3, ClassISL, 0, 1)
+	mustAdd(t, g, 3, 1, ClassISL, 0, 1)
+	mustAdd(t, g, 3, 4, ClassISL, 0, 1)
+	mustAdd(t, g, 2, 4, ClassISL, 0, 5)
+
+	paths := g.KShortestPaths(0, 4, 5, nil)
+	for _, p := range paths {
+		seen := make(map[int]bool)
+		for _, n := range p.Nodes {
+			if seen[n] {
+				t.Fatalf("path %v revisits node %d", p.Nodes, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestKShortestPathsSortedAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New(12)
+	for i := 0; i < 60; i++ {
+		from, to := rng.Intn(12), rng.Intn(12)
+		if from == to {
+			continue
+		}
+		mustAdd(t, g, from, to, ClassISL, int32(i), 1+rng.Float64()*5)
+	}
+	paths := g.KShortestPaths(0, 11, 6, nil)
+	if len(paths) == 0 {
+		t.Skip("random graph disconnected")
+	}
+	if !sort.SliceIsSorted(paths, func(i, j int) bool { return paths[i].Cost < paths[j].Cost }) {
+		t.Error("paths not sorted by cost")
+	}
+	for i := range paths {
+		for j := i + 1; j < len(paths); j++ {
+			// Parallel edges make same-node paths legitimate; identity
+			// includes the traversed edge payloads.
+			if equalNodes(paths[i].Nodes, paths[j].Nodes) && equalPayloads(paths[i].Edges, paths[j].Edges) {
+				t.Errorf("paths %d and %d identical: %v", i, j, paths[i].Nodes)
+			}
+		}
+	}
+	// First path must equal the Dijkstra optimum.
+	best, _ := g.ShortestPath(0, 11, nil)
+	if math.Abs(paths[0].Cost-best.Cost) > 1e-9 {
+		t.Errorf("first path cost %v != dijkstra %v", paths[0].Cost, best.Cost)
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1, ClassISL, 0, 1)
+	if got := g.KShortestPaths(0, 2, 3, nil); got != nil {
+		t.Errorf("unreachable: got %v, want nil", got)
+	}
+	if got := g.KShortestPaths(0, 1, 0, nil); got != nil {
+		t.Errorf("k=0: got %v, want nil", got)
+	}
+	// Only one simple path exists; asking for more returns just it.
+	got := g.KShortestPaths(0, 1, 5, nil)
+	if len(got) != 1 {
+		t.Errorf("got %d paths, want 1", len(got))
+	}
+}
+
+func TestKShortestPathsWithTransit(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, ClassISL, 0, 1)
+	mustAdd(t, g, 1, 3, ClassISL, 0, 1)
+	mustAdd(t, g, 0, 2, ClassISL, 0, 1)
+	mustAdd(t, g, 2, 3, ClassISL, 0, 1)
+	transit := func(node int, in, out EdgeClass) float64 {
+		if node == 1 {
+			return 10
+		}
+		return 0
+	}
+	paths := g.KShortestPaths(0, 3, 2, transit)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	if !equalNodes(paths[0].Nodes, []int{0, 2, 3}) {
+		t.Errorf("first path = %v, want cheap-transit route", paths[0].Nodes)
+	}
+	if math.Abs(paths[0].Cost-2) > 1e-9 || math.Abs(paths[1].Cost-12) > 1e-9 {
+		t.Errorf("costs = %v, %v, want 2 and 12", paths[0].Cost, paths[1].Cost)
+	}
+}
+
+func TestPathCostInvalid(t *testing.T) {
+	if c := PathCost([]int{0, 1}, nil, nil); !math.IsInf(c, 1) {
+		t.Errorf("mismatched nodes/edges should be +Inf, got %v", c)
+	}
+}

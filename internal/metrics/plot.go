@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkBars are the block characters used by Sparkline, lowest first.
+var sparkBars = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders an integer series as a compact unicode bar strip,
+// downsampling to at most maxWidth columns. Used by the CLIs to show the
+// Fig. 7/8 time series inline.
+func Sparkline(xs []int, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 80
+	}
+	if len(xs) == 0 {
+		return "(empty)"
+	}
+	max := 0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	step := 1
+	if len(xs) > maxWidth {
+		step = (len(xs) + maxWidth - 1) / maxWidth
+	}
+	var b strings.Builder
+	for i := 0; i < len(xs); i += step {
+		if max == 0 {
+			b.WriteRune(sparkBars[0])
+			continue
+		}
+		level := xs[i] * (len(sparkBars) - 1) / max
+		b.WriteRune(sparkBars[level])
+	}
+	fmt.Fprintf(&b, "  (max %d)", max)
+	return b.String()
+}
+
+// SparklineFloat renders a float series the same way, normalised to its
+// own maximum.
+func SparklineFloat(xs []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 80
+	}
+	if len(xs) == 0 {
+		return "(empty)"
+	}
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	step := 1
+	if len(xs) > maxWidth {
+		step = (len(xs) + maxWidth - 1) / maxWidth
+	}
+	var b strings.Builder
+	for i := 0; i < len(xs); i += step {
+		if max <= 0 {
+			b.WriteRune(sparkBars[0])
+			continue
+		}
+		level := int(xs[i] / max * float64(len(sparkBars)-1))
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkBars) {
+			level = len(sparkBars) - 1
+		}
+		b.WriteRune(sparkBars[level])
+	}
+	fmt.Fprintf(&b, "  (max %s)", FormatFloat(max))
+	return b.String()
+}
+
+// MultiSeriesPlot renders several float series as rows of sparklines
+// with aligned labels — the textual analogue of the paper's multi-line
+// figures.
+func MultiSeriesPlot(series []Series, maxWidth int) string {
+	labelWidth := 0
+	for _, s := range series {
+		if len(s.Name) > labelWidth {
+			labelWidth = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-*s %s\n", labelWidth, s.Name, SparklineFloat(s.Values, maxWidth))
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]int{0, 1, 2, 4, 8}, 80)
+	if !strings.Contains(out, "(max 8)") {
+		t.Errorf("missing max annotation: %q", out)
+	}
+	// First rune is the empty bar, last data rune is the full block.
+	runes := []rune(out)
+	if runes[0] != ' ' {
+		t.Errorf("zero renders as %q", runes[0])
+	}
+	if runes[4] != '█' {
+		t.Errorf("max renders as %q", runes[4])
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	out := Sparkline(xs, 50)
+	bars := strings.Split(out, "  (max")[0]
+	if n := utf8.RuneCountInString(bars); n > 50 {
+		t.Errorf("rendered %d columns, want <= 50", n)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "(empty)" {
+		t.Errorf("empty = %q", got)
+	}
+	out := Sparkline([]int{0, 0, 0}, 10)
+	if !strings.Contains(out, "(max 0)") {
+		t.Errorf("all-zero = %q", out)
+	}
+	// Zero width falls back to a default rather than dividing by zero.
+	if got := Sparkline([]int{1, 2}, 0); got == "" {
+		t.Error("zero width produced nothing")
+	}
+}
+
+func TestSparklineFloat(t *testing.T) {
+	out := SparklineFloat([]float64{0, 0.5, 1.0}, 10)
+	if !strings.Contains(out, "(max 1)") {
+		t.Errorf("missing max: %q", out)
+	}
+	if got := SparklineFloat(nil, 10); got != "(empty)" {
+		t.Errorf("empty = %q", got)
+	}
+	// Negative values clamp to the lowest bar instead of panicking.
+	out = SparklineFloat([]float64{-5, 1}, 10)
+	if !strings.HasPrefix(out, " ") {
+		t.Errorf("negative value rendered as %q", out)
+	}
+}
+
+func TestMultiSeriesPlot(t *testing.T) {
+	out := MultiSeriesPlot([]Series{
+		{Name: "CEAR", Values: []float64{1, 2, 3}},
+		{Name: "SSP-long-name", Values: []float64{3, 2, 1}},
+	}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "CEAR ") {
+		t.Errorf("label misaligned: %q", lines[0])
+	}
+	// Labels are padded to the longest name.
+	if idx0, idx1 := strings.IndexRune(lines[0], '('), strings.IndexRune(lines[1], '('); idx0 < 0 || idx1 < 0 {
+		t.Error("missing annotations")
+	}
+}

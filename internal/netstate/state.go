@@ -1,0 +1,296 @@
+// Package netstate tracks the reservable resources of the LSN across the
+// simulation horizon: per-slot, per-link bandwidth ledgers (constraint
+// (7b) of the paper) and per-satellite battery ledgers (constraint (7c)),
+// plus the congestion/depletion metrics reported in the paper's Fig. 7.
+//
+// It also provides View, an implicit graph over the per-slot LSN (static
+// +Grid ISLs plus the request's user links) that the routing algorithms
+// search without materialising adjacency lists.
+package netstate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spacebooking/internal/energy"
+	"spacebooking/internal/graph"
+	"spacebooking/internal/topology"
+)
+
+// LinkKey identifies a directed link by the global node IDs of its two
+// endpoints (see topology.Provider.GlobalID). Keys are stable across
+// slots, so one ledger accumulates a link's reservations over time.
+type LinkKey int64
+
+// MakeLinkKey packs two global node IDs into a key.
+func MakeLinkKey(from, to int) LinkKey {
+	return LinkKey(int64(from)<<32 | int64(uint32(to)))
+}
+
+// From returns the transmitting node's global ID.
+func (k LinkKey) From() int { return int(int64(k) >> 32) }
+
+// To returns the receiving node's global ID.
+func (k LinkKey) To() int { return int(uint32(int64(k))) }
+
+// EnergyConfig holds the power model constants of §VI-A.
+type EnergyConfig struct {
+	// PanelWatts is the solar panel harvesting power (20 W).
+	PanelWatts float64
+	// BatteryCapacityJ is ϖ_s (117 kJ).
+	BatteryCapacityJ float64
+	// Unit energies in joules per megabyte, by link class and direction.
+	ISLTxJPerMB float64
+	ISLRxJPerMB float64
+	USLTxJPerMB float64
+	USLRxJPerMB float64
+}
+
+// DefaultEnergyConfig returns the paper's power constants.
+func DefaultEnergyConfig() EnergyConfig {
+	return EnergyConfig{
+		PanelWatts:       20,
+		BatteryCapacityJ: 117000,
+		ISLTxJPerMB:      0.25,
+		ISLRxJPerMB:      0.2,
+		USLTxJPerMB:      1.0,
+		USLRxJPerMB:      0.8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c EnergyConfig) Validate() error {
+	switch {
+	case c.PanelWatts < 0:
+		return fmt.Errorf("netstate: negative panel power %v", c.PanelWatts)
+	case c.BatteryCapacityJ <= 0:
+		return fmt.Errorf("netstate: battery capacity must be positive, got %v", c.BatteryCapacityJ)
+	case c.ISLTxJPerMB < 0 || c.ISLRxJPerMB < 0 || c.USLTxJPerMB < 0 || c.USLRxJPerMB < 0:
+		return fmt.Errorf("netstate: negative unit energy")
+	}
+	return nil
+}
+
+// rxUnitJPerMB returns the receive-side unit energy for a link class.
+// ClassNone (path source side) costs nothing.
+func (c EnergyConfig) rxUnitJPerMB(class graph.EdgeClass) float64 {
+	switch class {
+	case graph.ClassISL:
+		return c.ISLRxJPerMB
+	case graph.ClassUSL:
+		return c.USLRxJPerMB
+	default:
+		return 0
+	}
+}
+
+// txUnitJPerMB returns the transmit-side unit energy for a link class.
+func (c EnergyConfig) txUnitJPerMB(class graph.EdgeClass) float64 {
+	switch class {
+	case graph.ClassISL:
+		return c.ISLTxJPerMB
+	case graph.ClassUSL:
+		return c.USLTxJPerMB
+	default:
+		return 0
+	}
+}
+
+// TransitEnergyJ implements Eq. (1): the per-slot energy a satellite
+// consumes to carry rateMbps for slotSeconds, given the classes of its
+// incoming and outgoing links. A relay (ISL in, ISL out) pays
+// δ(ω_ISL_rx + ω_ISL_tx); an ingress gateway (USL in, ISL out) pays
+// δ(ω_USL_rx + ω_ISL_tx); an egress gateway symmetrically; and the
+// single-satellite src→s→dst case pays USL on both sides.
+func (c EnergyConfig) TransitEnergyJ(in, out graph.EdgeClass, rateMbps, slotSeconds float64) float64 {
+	megabytes := rateMbps * slotSeconds / 8
+	return megabytes * (c.rxUnitJPerMB(in) + c.txUnitJPerMB(out))
+}
+
+// linkLedger tracks one directed link's reservations per slot.
+type linkLedger struct {
+	capacityMbps float64
+	used         []float64
+}
+
+// State is the mutable resource state of one simulation run. It is not
+// safe for concurrent use; each run owns its State.
+type State struct {
+	prov      *topology.Provider
+	energyCfg EnergyConfig
+	links     map[LinkKey]*linkLedger
+	batteries []*energy.Battery
+}
+
+// New builds the resource state: empty link ledgers and one battery per
+// broadband satellite, with solar input derived from the satellite's
+// sunlit profile. clampBatteries selects baseline-mode energy accounting
+// (saturate at empty) versus CEAR's strict constraint (7c).
+func New(prov *topology.Provider, energyCfg EnergyConfig, clampBatteries bool) (*State, error) {
+	if prov == nil {
+		return nil, fmt.Errorf("netstate: nil provider")
+	}
+	if err := energyCfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{
+		prov:      prov,
+		energyCfg: energyCfg,
+		links:     make(map[LinkKey]*linkLedger),
+		batteries: make([]*energy.Battery, prov.NumSats()),
+	}
+	slotSec := prov.Config().SlotSeconds
+	for sat := 0; sat < prov.NumSats(); sat++ {
+		solar := energy.SolarInputVector(prov.SunlitVector(sat), energyCfg.PanelWatts, slotSec)
+		b, err := energy.NewBattery(energyCfg.BatteryCapacityJ, solar, clampBatteries)
+		if err != nil {
+			return nil, fmt.Errorf("netstate: battery for satellite %d: %w", sat, err)
+		}
+		s.batteries[sat] = b
+	}
+	return s, nil
+}
+
+// Provider returns the topology provider backing this state.
+func (s *State) Provider() *topology.Provider { return s.prov }
+
+// EnergyConfig returns the power model constants.
+func (s *State) EnergyConfig() EnergyConfig { return s.energyCfg }
+
+// Battery returns the ledger of a satellite.
+func (s *State) Battery(sat int) *energy.Battery { return s.batteries[sat] }
+
+// linkCapacity derives a link's capacity from its endpoints: ISL between
+// two satellites, USL otherwise.
+func (s *State) linkCapacity(key LinkKey) float64 {
+	cfg := s.prov.Config()
+	if key.From() < s.prov.NumSats() && key.To() < s.prov.NumSats() {
+		return cfg.ISLCapacityMbps
+	}
+	return cfg.USLCapacityMbps
+}
+
+// LinkCapacityMbps returns the capacity c_e of a link.
+func (s *State) LinkCapacityMbps(key LinkKey) float64 { return s.linkCapacity(key) }
+
+// LinkUsedMbps returns the bandwidth already reserved on a link in a slot.
+func (s *State) LinkUsedMbps(key LinkKey, slot int) float64 {
+	l := s.links[key]
+	if l == nil || slot < 0 || slot >= len(l.used) {
+		return 0
+	}
+	return l.used[slot]
+}
+
+// LinkUtilization returns λ_e(T) per Eq. (8): reserved bandwidth divided
+// by capacity, in [0, 1] for feasible states.
+func (s *State) LinkUtilization(key LinkKey, slot int) float64 {
+	return s.LinkUsedMbps(key, slot) / s.linkCapacity(key)
+}
+
+// LinkResidualMbps returns the remaining reservable bandwidth of a link
+// in a slot.
+func (s *State) LinkResidualMbps(key LinkKey, slot int) float64 {
+	return s.linkCapacity(key) - s.LinkUsedMbps(key, slot)
+}
+
+// ReserveLink reserves rateMbps on a link for one slot. It fails without
+// side effects if the link would be over-subscribed.
+func (s *State) ReserveLink(key LinkKey, slot int, rateMbps float64) error {
+	if rateMbps <= 0 || math.IsNaN(rateMbps) {
+		return fmt.Errorf("netstate: invalid reservation rate %v", rateMbps)
+	}
+	if slot < 0 || slot >= s.prov.Horizon() {
+		return fmt.Errorf("netstate: slot %d outside horizon [0,%d)", slot, s.prov.Horizon())
+	}
+	cap := s.linkCapacity(key)
+	l := s.links[key]
+	if l == nil {
+		l = &linkLedger{capacityMbps: cap, used: make([]float64, s.prov.Horizon())}
+		s.links[key] = l
+	}
+	if l.used[slot]+rateMbps > cap*(1+1e-12) {
+		return fmt.Errorf("netstate: link %d->%d over-subscribed at slot %d: %v + %v > %v",
+			key.From(), key.To(), slot, l.used[slot], rateMbps, cap)
+	}
+	l.used[slot] += rateMbps
+	return nil
+}
+
+// NumActiveLinks returns the number of links with at least one
+// reservation anywhere in the horizon.
+func (s *State) NumActiveLinks() int { return len(s.links) }
+
+// CongestedLinkCount counts links whose remaining bandwidth in the slot
+// is below thresholdFrac of capacity — the paper's "congestion link
+// number" metric with thresholdFrac = 0.1.
+func (s *State) CongestedLinkCount(slot int, thresholdFrac float64) int {
+	count := 0
+	for _, l := range s.links {
+		if slot < 0 || slot >= len(l.used) {
+			continue
+		}
+		if l.capacityMbps-l.used[slot] < thresholdFrac*l.capacityMbps {
+			count++
+		}
+	}
+	return count
+}
+
+// DepletedSatCount counts satellites whose remaining battery at the end
+// of the slot is below thresholdFrac of capacity — the paper's
+// "energy-depleted satellites number" metric with thresholdFrac = 0.2.
+func (s *State) DepletedSatCount(slot int, thresholdFrac float64) int {
+	count := 0
+	for _, b := range s.batteries {
+		if b.LevelAt(slot) < thresholdFrac*b.CapacityJ() {
+			count++
+		}
+	}
+	return count
+}
+
+// Consumption is one satellite energy draw: Joules consumed at Slot on
+// satellite Sat.
+type Consumption struct {
+	Sat    int
+	Slot   int
+	Joules float64
+}
+
+// TrialConsume reports whether the batch of consumptions is jointly
+// feasible (applied in slot order) without mutating any ledger. The
+// admission algorithms use it to trial one slot's path as a whole before
+// committing: a path can transit the same satellite in two roles whose
+// draws are individually feasible but jointly not (constraint (7c)).
+func (s *State) TrialConsume(consumptions []Consumption) error {
+	bySat := make(map[int][]Consumption)
+	for _, c := range consumptions {
+		bySat[c.Sat] = append(bySat[c.Sat], c)
+	}
+	for sat, cs := range bySat {
+		clone := s.batteries[sat].Clone()
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Slot < cs[j].Slot })
+		for _, c := range cs {
+			if err := clone.Consume(c.Slot, c.Joules); err != nil {
+				return fmt.Errorf("netstate: satellite %d: %w", sat, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Consume applies a batch of consumptions (in slot order per satellite).
+// Callers that need atomicity must TrialConsume first; a mid-batch
+// failure leaves earlier consumptions applied.
+func (s *State) Consume(consumptions []Consumption) error {
+	ordered := append([]Consumption(nil), consumptions...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Slot < ordered[j].Slot })
+	for _, c := range ordered {
+		if err := s.batteries[c.Sat].Consume(c.Slot, c.Joules); err != nil {
+			return fmt.Errorf("netstate: satellite %d: %w", c.Sat, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package netstate
+
+import (
+	"fmt"
+
+	"spacebooking/internal/energy"
+	"spacebooking/internal/graph"
+)
+
+// Txn is an undo log over a State, enabling commit-as-you-go request
+// admission: an algorithm reserves bandwidth and consumes energy slot by
+// slot — so each slot's path search sees the request's *own* earlier
+// consumption and can route around satellites it has already loaded —
+// and rolls everything back if a later slot proves unroutable or the
+// total price exceeds the valuation.
+type Txn struct {
+	state *State
+	// linkUndo records reservations to subtract on rollback.
+	linkUndo []linkReservation
+	// batterySnapshots holds pre-transaction clones of every battery the
+	// transaction touched, restored wholesale on rollback.
+	batterySnapshots map[int]*energy.Battery
+	done             bool
+}
+
+type linkReservation struct {
+	key  LinkKey
+	slot int
+	rate float64
+}
+
+// Begin starts a transaction. A State supports any number of sequential
+// transactions; interleaving two open transactions on one State is a
+// caller bug.
+func (s *State) Begin() *Txn {
+	return &Txn{state: s, batterySnapshots: make(map[int]*energy.Battery)}
+}
+
+// ReservePath reserves the view's demand on every link of the path in
+// the view's slot, recording the reservations for rollback.
+func (t *Txn) ReservePath(v *View, p graph.Path) error {
+	if t.done {
+		return fmt.Errorf("netstate: transaction already finished")
+	}
+	for i := 0; i < len(p.Nodes)-1; i++ {
+		key := v.LinkKeyFor(p.Nodes[i], p.Nodes[i+1])
+		if err := t.state.ReserveLink(key, v.Slot(), v.DemandMbps()); err != nil {
+			return err
+		}
+		t.linkUndo = append(t.linkUndo, linkReservation{key: key, slot: v.Slot(), rate: v.DemandMbps()})
+	}
+	return nil
+}
+
+// Consume applies energy consumptions, snapshotting each touched battery
+// first. On error the failed battery is left untouched (Consume is
+// atomic per battery); previously applied consumptions remain until
+// Rollback.
+func (t *Txn) Consume(consumptions []Consumption) error {
+	if t.done {
+		return fmt.Errorf("netstate: transaction already finished")
+	}
+	for _, c := range consumptions {
+		if _, ok := t.batterySnapshots[c.Sat]; !ok {
+			t.batterySnapshots[c.Sat] = t.state.batteries[c.Sat].Clone()
+		}
+		if err := t.state.batteries[c.Sat].Consume(c.Slot, c.Joules); err != nil {
+			return fmt.Errorf("netstate: satellite %d: %w", c.Sat, err)
+		}
+	}
+	return nil
+}
+
+// Rollback undoes every reservation and restores every touched battery.
+// Safe to call after a partial failure; idempotent.
+func (t *Txn) Rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for _, r := range t.linkUndo {
+		t.state.unreserveLink(r.key, r.slot, r.rate)
+	}
+	for sat, snapshot := range t.batterySnapshots {
+		t.state.batteries[sat] = snapshot
+	}
+}
+
+// Commit finalises the transaction, dropping the undo log.
+func (t *Txn) Commit() {
+	t.done = true
+}
+
+// unreserveLink subtracts a prior reservation.
+func (s *State) unreserveLink(key LinkKey, slot int, rateMbps float64) {
+	l := s.links[key]
+	if l == nil || slot < 0 || slot >= len(l.used) {
+		return
+	}
+	l.used[slot] -= rateMbps
+	if l.used[slot] < 0 {
+		l.used[slot] = 0
+	}
+}

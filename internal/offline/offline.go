@@ -1,0 +1,120 @@
+// Package offline estimates the offline optimum of Definition 1 for
+// empirical competitive-ratio reporting.
+//
+// The exact offline problem is an NP-hard integer program; with no LP
+// solver in the standard library we report a *greedy* offline welfare:
+// requests sorted by valuation (ties broken by smaller resource
+// footprint), admitted with feasibility-only routing on a fresh network.
+// The greedy value lower-bounds OPT, so ratios computed against it are
+// optimistic lower bounds on the true empirical competitive ratio — see
+// EXPERIMENTS.md.
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spacebooking/internal/graph"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+// Result summarises a greedy offline run.
+type Result struct {
+	Welfare       float64
+	Accepted      int
+	TotalRequests int
+}
+
+// Greedy computes the offline greedy welfare over a fresh resource state
+// built from the provider and energy configuration (strict batteries:
+// the offline algorithm is also bandwidth- and energy-constrained, per
+// Lemma 3).
+func Greedy(prov *topology.Provider, energyCfg netstate.EnergyConfig, reqs []workload.Request) (Result, error) {
+	if prov == nil {
+		return Result{}, fmt.Errorf("offline: nil provider")
+	}
+	state, err := netstate.New(prov, energyCfg, false)
+	if err != nil {
+		return Result{}, err
+	}
+
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	footprint := func(r workload.Request) float64 {
+		return r.RateMbps * float64(r.DurationSlots())
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Valuation != rb.Valuation {
+			return ra.Valuation > rb.Valuation
+		}
+		return footprint(ra) < footprint(rb)
+	})
+
+	res := Result{TotalRequests: len(reqs)}
+	for _, idx := range order {
+		ok, err := tryAdmit(state, reqs[idx])
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			res.Accepted++
+			res.Welfare += reqs[idx].Valuation
+		}
+	}
+	return res, nil
+}
+
+// tryAdmit routes the request min-hop with energy feasibility and
+// commits it if every active slot is routable.
+func tryAdmit(state *netstate.State, req workload.Request) (bool, error) {
+	if req.StartSlot < 0 || req.EndSlot < req.StartSlot || req.EndSlot >= state.Provider().Horizon() {
+		return false, fmt.Errorf("offline: request %d window [%d,%d] invalid", req.ID, req.StartSlot, req.EndSlot)
+	}
+	unit := func(netstate.LinkKey, graph.EdgeClass, float64, float64) float64 { return 1 }
+	slotSec := state.Provider().Config().SlotSeconds
+	energyCfg := state.EnergyConfig()
+
+	var views []*netstate.View
+	var paths []graph.Path
+	var consumptions []netstate.Consumption
+	for slot := req.StartSlot; slot <= req.EndSlot; slot++ {
+		view, err := netstate.NewView(state, slot, req.Src, req.Dst, req.RateMbps, unit)
+		if err != nil {
+			return false, err
+		}
+		// Energy feasibility as a transit mask: a satellite that cannot
+		// host this slot's consumption is blocked.
+		transit := func(node int, in, out graph.EdgeClass) float64 {
+			joules := energyCfg.TransitEnergyJ(in, out, req.RateMbps, slotSec)
+			if !state.Battery(node).Feasible(slot, joules) {
+				return math.Inf(1)
+			}
+			return 0
+		}
+		path, ok := graph.ShortestPath(view, view.SrcNode(), view.DstNode(), transit)
+		if !ok {
+			return false, nil
+		}
+		views = append(views, view)
+		paths = append(paths, path)
+		consumptions = append(consumptions, view.PathConsumptions(path)...)
+	}
+	if err := state.TrialConsume(consumptions); err != nil {
+		return false, nil //nolint:nilerr // joint infeasibility is a rejection, not a failure
+	}
+	for i, view := range views {
+		if err := view.ReservePathBandwidth(paths[i]); err != nil {
+			return false, err
+		}
+	}
+	if err := state.Consume(consumptions); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,115 @@
+package offline
+
+import (
+	"testing"
+
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/workload"
+)
+
+func TestCutUpperBoundErrors(t *testing.T) {
+	if _, err := CutUpperBound(nil, nil); err == nil {
+		t.Error("nil provider should error")
+	}
+	prov := testProvider(t)
+	bad := []workload.Request{{ID: 0, Src: groundEP(0), Dst: groundEP(1), StartSlot: 0, EndSlot: 9999, RateMbps: 1, Valuation: 1}}
+	if _, err := CutUpperBound(prov, bad); err == nil {
+		t.Error("invalid request should error")
+	}
+}
+
+func TestCutUpperBoundEmpty(t *testing.T) {
+	prov := testProvider(t)
+	ub, err := CutUpperBound(prov, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub != 0 {
+		t.Errorf("empty workload UB = %v", ub)
+	}
+}
+
+func TestCutUpperBoundDominatesGreedy(t *testing.T) {
+	// The certified upper bound must be >= the greedy lower estimate on
+	// any workload — that is the bracket property.
+	prov := testProvider(t)
+	pairs := []workload.Pair{{Src: groundEP(0), Dst: groundEP(1)}}
+	for _, rate := range []float64{0.5, 2, 5} {
+		cfg := workload.DefaultConfig(prov.Horizon(), pairs, 13)
+		cfg.ArrivalRatePerSlot = rate
+		reqs, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Greedy(prov, netstate.DefaultEnergyConfig(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := CutUpperBound(prov, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub < greedy.Welfare {
+			t.Errorf("rate %v: UB %v below greedy welfare %v", rate, ub, greedy.Welfare)
+		}
+		// And it must never exceed the total offered valuation... it can,
+		// actually, when pools are large — clamp check: the knapsack per
+		// pool is bounded by the pool's offered valuation, so UB <= total.
+		total := 0.0
+		for _, r := range reqs {
+			total += r.Valuation
+		}
+		if ub > total+1e-6 {
+			t.Errorf("rate %v: UB %v exceeds total valuation %v", rate, ub, total)
+		}
+	}
+}
+
+func TestCutUpperBoundTightWhenAccessBound(t *testing.T) {
+	// Construct a scenario where the access cut is exactly the
+	// bottleneck: a single slot, requests each needing the full USL
+	// capacity of the only visible satellite.
+	prov := testProvider(t)
+	slot := -1
+	var nVis int
+	for s := 0; s < prov.Horizon(); s++ {
+		sv, err := prov.VisibleSats(groundEP(0), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := prov.VisibleSats(groundEP(1), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sv) > 0 && len(dv) > 0 {
+			slot, nVis = s, len(sv)
+			break
+		}
+	}
+	if slot < 0 {
+		t.Skip("no routable slot")
+	}
+	// Each request consumes a full USL (4000 Mbps); the src pool at this
+	// slot supports at most nVis of them (summed over the horizon the
+	// pool is bigger, but all requests target one slot... the bound
+	// integrates over the horizon, so here it is loose by design — just
+	// verify soundness: UB >= what is actually feasible).
+	var reqs []workload.Request
+	for i := 0; i < 3*nVis; i++ {
+		reqs = append(reqs, workload.Request{
+			ID: i, Src: groundEP(0), Dst: groundEP(1),
+			StartSlot: slot, EndSlot: slot, RateMbps: 4000, Valuation: 100,
+		})
+	}
+	ub, err := CutUpperBound(prov, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy(prov, netstate.DefaultEnergyConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub < greedy.Welfare {
+		t.Errorf("UB %v below achievable %v", ub, greedy.Welfare)
+	}
+}

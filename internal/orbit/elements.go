@@ -1,0 +1,124 @@
+// Package orbit implements the orbital-mechanics substrate of the LSN
+// simulator: Keplerian element propagation, Walker-Delta constellation
+// generation (the Starlink Shell-I geometry used in the paper), a TLE
+// codec, and a synthetic sun-synchronous Earth-observation fleet that
+// stands in for the Planet Labs constellation in offline environments.
+package orbit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"spacebooking/internal/geo"
+)
+
+// Elements is a set of classical Keplerian orbital elements referenced to
+// an epoch. Angles are degrees to match operator-facing conventions (TLEs,
+// FCC filings); they are converted internally.
+type Elements struct {
+	SemiMajorKm    float64
+	Eccentricity   float64
+	InclinationDeg float64
+	RAANDeg        float64
+	ArgPerigeeDeg  float64
+	MeanAnomalyDeg float64
+	Epoch          time.Time
+}
+
+// Validate reports whether the element set describes a physically
+// propagatable orbit.
+func (e Elements) Validate() error {
+	switch {
+	case e.SemiMajorKm <= geo.EarthRadiusKm:
+		return fmt.Errorf("orbit: semi-major axis %.1f km is inside the Earth", e.SemiMajorKm)
+	case e.Eccentricity < 0 || e.Eccentricity >= 1:
+		return fmt.Errorf("orbit: eccentricity %v outside [0,1)", e.Eccentricity)
+	case e.InclinationDeg < 0 || e.InclinationDeg > 180:
+		return fmt.Errorf("orbit: inclination %v outside [0,180]", e.InclinationDeg)
+	case e.Epoch.IsZero():
+		return errors.New("orbit: zero epoch")
+	}
+	return nil
+}
+
+// MeanMotionRadS returns the mean motion n = sqrt(mu/a^3) in rad/s.
+func (e Elements) MeanMotionRadS() float64 {
+	a := e.SemiMajorKm
+	return math.Sqrt(geo.EarthMuKm3S2 / (a * a * a))
+}
+
+// PeriodSeconds returns the orbital period in seconds.
+func (e Elements) PeriodSeconds() float64 {
+	return 2 * math.Pi / e.MeanMotionRadS()
+}
+
+// solveKepler solves Kepler's equation M = E - e sinE for the eccentric
+// anomaly E using Newton iteration. For the near-circular orbits in this
+// simulator it converges in 2-3 iterations.
+func solveKepler(meanAnomaly, ecc float64) float64 {
+	ea := meanAnomaly
+	if ecc > 0.8 {
+		ea = math.Pi
+	}
+	for i := 0; i < 20; i++ {
+		f := ea - ecc*math.Sin(ea) - meanAnomaly
+		fp := 1 - ecc*math.Cos(ea)
+		delta := f / fp
+		ea -= delta
+		if math.Abs(delta) < 1e-12 {
+			break
+		}
+	}
+	return ea
+}
+
+// PositionECI propagates the elements to time t under two-body dynamics
+// and returns the ECI position in kilometres.
+//
+// J2 nodal regression is deliberately not modelled: over the paper's
+// 384-minute horizon the RAAN of a 550 km / 53° orbit drifts by less than
+// 1.4°, which does not change any +Grid neighbour relation or visibility
+// outcome at the 1-minute slot granularity.
+func (e Elements) PositionECI(t time.Time) geo.Vec3 {
+	dt := t.Sub(e.Epoch).Seconds()
+	meanAnomaly := geo.WrapTwoPi(geo.DegToRad(e.MeanAnomalyDeg) + e.MeanMotionRadS()*dt)
+
+	ea := solveKepler(meanAnomaly, e.Eccentricity)
+	sinEA, cosEA := math.Sincos(ea)
+
+	// True anomaly and radius.
+	nu := math.Atan2(math.Sqrt(1-e.Eccentricity*e.Eccentricity)*sinEA, cosEA-e.Eccentricity)
+	r := e.SemiMajorKm * (1 - e.Eccentricity*cosEA)
+
+	// Position in the perifocal frame.
+	sinNu, cosNu := math.Sincos(nu)
+	perifocal := geo.Vec3{X: r * cosNu, Y: r * sinNu}
+
+	// Rotate perifocal -> ECI: Rz(RAAN) Rx(inc) Rz(argPerigee).
+	return perifocal.
+		RotateZ(geo.DegToRad(e.ArgPerigeeDeg)).
+		RotateX(geo.DegToRad(e.InclinationDeg)).
+		RotateZ(geo.DegToRad(e.RAANDeg))
+}
+
+// VelocityECI returns the two-body ECI velocity (km/s) at time t, via a
+// small symmetric finite difference. The simulator itself only needs
+// positions; velocity supports the doppler/contact-time utilities.
+func (e Elements) VelocityECI(t time.Time) geo.Vec3 {
+	const h = 50 * time.Millisecond
+	p1 := e.PositionECI(t.Add(-h))
+	p2 := e.PositionECI(t.Add(h))
+	return p2.Sub(p1).Scale(1 / (2 * h.Seconds()))
+}
+
+// Satellite is a named satellite with orbital elements and an index that
+// is stable within its constellation.
+type Satellite struct {
+	ID           int
+	Name         string
+	Plane        int // orbital plane index within its constellation, -1 if n/a
+	IndexInPlane int
+	Elements     Elements
+}

@@ -1,0 +1,197 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spacebooking/internal/geo"
+)
+
+var testEpoch = time.Date(2026, time.July, 5, 0, 0, 0, 0, time.UTC)
+
+func circular550(inclDeg, raanDeg, maDeg float64) Elements {
+	return Elements{
+		SemiMajorKm:    geo.EarthRadiusKm + 550,
+		Eccentricity:   0,
+		InclinationDeg: inclDeg,
+		RAANDeg:        raanDeg,
+		ArgPerigeeDeg:  0,
+		MeanAnomalyDeg: maDeg,
+		Epoch:          testEpoch,
+	}
+}
+
+func TestElementsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Elements)
+		wantErr bool
+	}{
+		{"valid", func(e *Elements) {}, false},
+		{"inside earth", func(e *Elements) { e.SemiMajorKm = 6000 }, true},
+		{"negative ecc", func(e *Elements) { e.Eccentricity = -0.1 }, true},
+		{"hyperbolic", func(e *Elements) { e.Eccentricity = 1.0 }, true},
+		{"bad inclination", func(e *Elements) { e.InclinationDeg = 181 }, true},
+		{"zero epoch", func(e *Elements) { e.Epoch = time.Time{} }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := circular550(53, 0, 0)
+			tt.mutate(&e)
+			if err := e.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPeriodAt550km(t *testing.T) {
+	e := circular550(53, 0, 0)
+	// The paper states 96 minutes for the 550 km shell.
+	gotMin := e.PeriodSeconds() / 60
+	if math.Abs(gotMin-95.6) > 0.5 {
+		t.Errorf("period = %.2f min, want ~95.6", gotMin)
+	}
+}
+
+func TestPositionRadiusConstantForCircularOrbit(t *testing.T) {
+	e := circular550(53, 40, 10)
+	want := e.SemiMajorKm
+	for i := 0; i < 200; i++ {
+		p := e.PositionECI(testEpoch.Add(time.Duration(i) * time.Minute))
+		if math.Abs(p.Norm()-want) > 1e-6 {
+			t.Fatalf("slot %d: radius %.9f, want %.9f", i, p.Norm(), want)
+		}
+	}
+}
+
+func TestPositionPeriodicity(t *testing.T) {
+	e := circular550(53, 120, 77)
+	p0 := e.PositionECI(testEpoch)
+	period := time.Duration(e.PeriodSeconds() * float64(time.Second))
+	p1 := e.PositionECI(testEpoch.Add(period))
+	if p0.DistanceTo(p1) > 0.01 {
+		t.Errorf("position after one period differs by %.4f km", p0.DistanceTo(p1))
+	}
+}
+
+func TestPositionInclinationBoundsLatitude(t *testing.T) {
+	// A 53° inclined orbit never exceeds |z| = a*sin(53°).
+	e := circular550(53, 0, 0)
+	maxZ := e.SemiMajorKm * math.Sin(geo.DegToRad(53))
+	for i := 0; i < 400; i++ {
+		p := e.PositionECI(testEpoch.Add(time.Duration(i) * time.Minute))
+		if math.Abs(p.Z) > maxZ+1e-6 {
+			t.Fatalf("slot %d: |z| = %v exceeds max %v", i, math.Abs(p.Z), maxZ)
+		}
+	}
+}
+
+func TestEquatorialOrbitStaysInPlane(t *testing.T) {
+	e := circular550(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		p := e.PositionECI(testEpoch.Add(time.Duration(i) * time.Minute))
+		if math.Abs(p.Z) > 1e-9 {
+			t.Fatalf("equatorial orbit left the plane: z = %v", p.Z)
+		}
+	}
+}
+
+func TestSolveKeplerIdentity(t *testing.T) {
+	f := func(m, e float64) bool {
+		mean := math.Mod(math.Abs(m), 2*math.Pi)
+		ecc := math.Mod(math.Abs(e), 0.9)
+		if math.IsNaN(mean) || math.IsNaN(ecc) {
+			return true
+		}
+		ea := solveKepler(mean, ecc)
+		back := ea - ecc*math.Sin(ea)
+		return math.Abs(back-mean) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEccentricOrbitApsides(t *testing.T) {
+	e := Elements{
+		SemiMajorKm:    8000,
+		Eccentricity:   0.2,
+		InclinationDeg: 30,
+		Epoch:          testEpoch,
+	}
+	// Sample one period finely and check min/max radii against a(1±e).
+	period := e.PeriodSeconds()
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 2000; i++ {
+		p := e.PositionECI(testEpoch.Add(time.Duration(float64(i) / 2000 * period * float64(time.Second))))
+		r := p.Norm()
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	if math.Abs(minR-8000*0.8) > 1 {
+		t.Errorf("perigee = %v, want %v", minR, 8000*0.8)
+	}
+	if math.Abs(maxR-8000*1.2) > 1 {
+		t.Errorf("apogee = %v, want %v", maxR, 8000*1.2)
+	}
+}
+
+func TestVelocityMagnitudeCircular(t *testing.T) {
+	e := circular550(53, 0, 0)
+	v := e.VelocityECI(testEpoch.Add(17 * time.Minute))
+	want := math.Sqrt(geo.EarthMuKm3S2 / e.SemiMajorKm) // vis-viva, circular
+	if math.Abs(v.Norm()-want) > 0.01 {
+		t.Errorf("speed = %v km/s, want %v", v.Norm(), want)
+	}
+}
+
+func TestVelocityPerpendicularToRadiusCircular(t *testing.T) {
+	e := circular550(53, 10, 20)
+	at := testEpoch.Add(31 * time.Minute)
+	p := e.PositionECI(at)
+	v := e.VelocityECI(at)
+	cosAngle := p.Dot(v) / (p.Norm() * v.Norm())
+	if math.Abs(cosAngle) > 1e-3 {
+		t.Errorf("radius-velocity angle cosine = %v, want ~0", cosAngle)
+	}
+}
+
+// Property: two-body propagation conserves specific orbital energy
+// (vis-viva): v^2/2 - mu/r == -mu/(2a) at every sampled time.
+func TestVisVivaEnergyConserved(t *testing.T) {
+	orbits := []Elements{
+		circular550(53, 10, 20),
+		{SemiMajorKm: 7500, Eccentricity: 0.1, InclinationDeg: 63.4, RAANDeg: 45, ArgPerigeeDeg: 90, MeanAnomalyDeg: 12, Epoch: testEpoch},
+		{SemiMajorKm: 9000, Eccentricity: 0.3, InclinationDeg: 28.5, Epoch: testEpoch},
+	}
+	for oi, e := range orbits {
+		want := -geo.EarthMuKm3S2 / (2 * e.SemiMajorKm)
+		for i := 0; i < 50; i++ {
+			at := testEpoch.Add(time.Duration(i) * 7 * time.Minute)
+			r := e.PositionECI(at).Norm()
+			v := e.VelocityECI(at).Norm()
+			got := v*v/2 - geo.EarthMuKm3S2/r
+			// The finite-difference velocity carries ~1e-6 relative error.
+			if math.Abs(got-want) > 5e-3*math.Abs(want) {
+				t.Fatalf("orbit %d sample %d: energy %v, want %v", oi, i, got, want)
+			}
+		}
+	}
+}
+
+// Property: angular momentum direction is fixed (orbital plane does not
+// precess under two-body dynamics).
+func TestAngularMomentumDirectionFixed(t *testing.T) {
+	e := Elements{SemiMajorKm: 7000, Eccentricity: 0.05, InclinationDeg: 75, RAANDeg: 120, Epoch: testEpoch}
+	h0 := e.PositionECI(testEpoch).Cross(e.VelocityECI(testEpoch)).Unit()
+	for i := 1; i < 30; i++ {
+		at := testEpoch.Add(time.Duration(i) * 11 * time.Minute)
+		h := e.PositionECI(at).Cross(e.VelocityECI(at)).Unit()
+		if h.Sub(h0).Norm() > 1e-4 {
+			t.Fatalf("sample %d: orbital plane drifted by %v", i, h.Sub(h0).Norm())
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package orbit
+
+import (
+	"math"
+	"time"
+
+	"spacebooking/internal/geo"
+)
+
+// J2 is the Earth's dominant oblateness coefficient.
+const J2 = 1.08262668e-3
+
+// J2Rates returns the secular drift rates caused by Earth oblateness, in
+// radians per second: nodal regression (RAAN), apsidal rotation
+// (argument of perigee) and the mean-anomaly rate correction. These are
+// the standard first-order secular expressions; short-period J2
+// oscillations are not modelled.
+func (e Elements) J2Rates() (raanDot, argpDot, meanAnomalyDot float64) {
+	a := e.SemiMajorKm
+	ecc := e.Eccentricity
+	inc := geo.DegToRad(e.InclinationDeg)
+	n := e.MeanMotionRadS()
+	p := a * (1 - ecc*ecc)
+	factor := 1.5 * J2 * n * (geo.EarthRadiusKm / p) * (geo.EarthRadiusKm / p)
+	cosI := math.Cos(inc)
+	sinI2 := math.Sin(inc) * math.Sin(inc)
+
+	raanDot = -factor * cosI
+	argpDot = factor * (2 - 2.5*sinI2)
+	meanAnomalyDot = factor * math.Sqrt(1-ecc*ecc) * (1 - 1.5*sinI2)
+	return raanDot, argpDot, meanAnomalyDot
+}
+
+// AtEpochJ2 returns a copy of the elements advanced to newEpoch with J2
+// secular drift applied to RAAN, argument of perigee and mean anomaly.
+// Use it to re-anchor a constellation for simulations that span days —
+// within the paper's 384-minute horizon the drift is negligible (<1.4°
+// of RAAN for the 550 km / 53° shell), which is why the per-slot
+// propagator stays two-body.
+func (e Elements) AtEpochJ2(newEpoch time.Time) Elements {
+	dt := newEpoch.Sub(e.Epoch).Seconds()
+	raanDot, argpDot, maDot := e.J2Rates()
+
+	out := e
+	out.Epoch = newEpoch
+	out.RAANDeg = geo.RadToDeg(geo.WrapTwoPi(geo.DegToRad(e.RAANDeg) + raanDot*dt))
+	out.ArgPerigeeDeg = geo.RadToDeg(geo.WrapTwoPi(geo.DegToRad(e.ArgPerigeeDeg) + argpDot*dt))
+	out.MeanAnomalyDeg = geo.RadToDeg(geo.WrapTwoPi(
+		geo.DegToRad(e.MeanAnomalyDeg) + (e.MeanMotionRadS()+maDot)*dt))
+	return out
+}
+
+// NodalPrecessionDegPerDay returns the RAAN drift in degrees per day —
+// the quantity mission designers quote (a sun-synchronous orbit needs
+// +0.9856°/day).
+func (e Elements) NodalPrecessionDegPerDay() float64 {
+	raanDot, _, _ := e.J2Rates()
+	return geo.RadToDeg(raanDot) * 86400
+}

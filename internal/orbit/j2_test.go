@@ -1,0 +1,105 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacebooking/internal/geo"
+)
+
+func TestNodalPrecessionKnownValues(t *testing.T) {
+	tests := []struct {
+		name    string
+		altKm   float64
+		incDeg  float64
+		wantDeg float64 // degrees/day
+		tol     float64
+	}{
+		// Classic textbook values.
+		{"ISS-like (400 km, 51.6°)", 400, 51.6, -4.98, 0.15},
+		{"Starlink shell (550 km, 53°)", 550, 53, -4.6, 0.2},
+		{"polar (800 km, 90°)", 800, 90, 0, 1e-9},
+		// Sun-synchronous: designed for +0.9856°/day.
+		{"SSO (500 km)", 500, ssoInclinationDeg(500), 0.9856, 0.02},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := Elements{
+				SemiMajorKm:    geo.EarthRadiusKm + tt.altKm,
+				InclinationDeg: tt.incDeg,
+				Epoch:          testEpoch,
+			}
+			got := e.NodalPrecessionDegPerDay()
+			if math.Abs(got-tt.wantDeg) > tt.tol {
+				t.Errorf("precession = %v deg/day, want %v ± %v", got, tt.wantDeg, tt.tol)
+			}
+		})
+	}
+}
+
+func TestJ2RatesSigns(t *testing.T) {
+	// Prograde orbits regress (negative RAAN rate); retrograde orbits
+	// precess forward. Apsidal rotation is positive below the critical
+	// inclination (63.4°) and negative above it.
+	prograde := Elements{SemiMajorKm: 7000, InclinationDeg: 30, Epoch: testEpoch}
+	retrograde := Elements{SemiMajorKm: 7000, InclinationDeg: 120, Epoch: testEpoch}
+	raanP, argpP, maP := prograde.J2Rates()
+	raanR, _, _ := retrograde.J2Rates()
+	if raanP >= 0 {
+		t.Errorf("prograde RAAN rate = %v, want negative", raanP)
+	}
+	if raanR <= 0 {
+		t.Errorf("retrograde RAAN rate = %v, want positive", raanR)
+	}
+	if argpP <= 0 {
+		t.Errorf("apsidal rate below critical inclination = %v, want positive", argpP)
+	}
+	if maP <= 0 {
+		t.Errorf("mean anomaly correction = %v, want positive at low inclination", maP)
+	}
+	critical := Elements{SemiMajorKm: 7000, InclinationDeg: 63.4349, Epoch: testEpoch}
+	if _, argpC, _ := critical.J2Rates(); math.Abs(argpC) > 1e-9 {
+		t.Errorf("apsidal rate at the critical inclination = %v, want ~0", argpC)
+	}
+}
+
+func TestAtEpochJ2(t *testing.T) {
+	e := circular550(53, 100, 0)
+	oneDay := e.AtEpochJ2(testEpoch.Add(24 * time.Hour))
+	if oneDay.Epoch != testEpoch.Add(24*time.Hour) {
+		t.Error("epoch not advanced")
+	}
+	drift := oneDay.RAANDeg - e.RAANDeg
+	// ~-4.6 degrees of nodal regression per day (mod 360).
+	if drift > 0 {
+		drift -= 360
+	}
+	if math.Abs(drift-e.NodalPrecessionDegPerDay()) > 0.01 {
+		t.Errorf("RAAN drift = %v, want %v", drift, e.NodalPrecessionDegPerDay())
+	}
+	// Inclination, shape and size are untouched by secular J2.
+	if oneDay.SemiMajorKm != e.SemiMajorKm || oneDay.InclinationDeg != e.InclinationDeg ||
+		oneDay.Eccentricity != e.Eccentricity {
+		t.Error("J2 secular drift must not change a, e, i")
+	}
+	// Zero elapsed time is the identity (modulo angle wrapping).
+	same := e.AtEpochJ2(testEpoch)
+	if math.Abs(same.RAANDeg-e.RAANDeg) > 1e-9 {
+		t.Errorf("zero-dt advance changed RAAN: %v -> %v", e.RAANDeg, same.RAANDeg)
+	}
+}
+
+func TestJ2DriftNegligibleOverPaperHorizon(t *testing.T) {
+	// The design claim in the propagator doc: < 1.4° RAAN drift over the
+	// 384-minute evaluation horizon for the Starlink shell.
+	e := circular550(53, 0, 0)
+	drifted := e.AtEpochJ2(testEpoch.Add(384 * time.Minute))
+	drift := math.Abs(drifted.RAANDeg - 0)
+	if drift > 360-1.4 {
+		drift = 360 - drift
+	}
+	if drift > 1.4 {
+		t.Errorf("RAAN drift over 384 min = %v°, design doc claims < 1.4°", drift)
+	}
+}

@@ -1,0 +1,215 @@
+package orbit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spacebooking/internal/geo"
+)
+
+// A real ISS TLE (epoch 2008-09-20), the canonical test vector used by
+// most TLE implementations.
+const (
+	issName  = "ISS (ZARYA)"
+	issLine1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	issLine2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+)
+
+func TestParseTLEISS(t *testing.T) {
+	tle, err := ParseTLE(issName, issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tle.Name != issName {
+		t.Errorf("name = %q", tle.Name)
+	}
+	if tle.CatalogNumber != 25544 {
+		t.Errorf("catalog = %d, want 25544", tle.CatalogNumber)
+	}
+	if tle.IntlDesignator != "98067A" {
+		t.Errorf("designator = %q", tle.IntlDesignator)
+	}
+	e := tle.Elements
+	if math.Abs(e.InclinationDeg-51.6416) > 1e-9 {
+		t.Errorf("inclination = %v", e.InclinationDeg)
+	}
+	if math.Abs(e.RAANDeg-247.4627) > 1e-9 {
+		t.Errorf("RAAN = %v", e.RAANDeg)
+	}
+	if math.Abs(e.Eccentricity-0.0006703) > 1e-12 {
+		t.Errorf("ecc = %v", e.Eccentricity)
+	}
+	if math.Abs(e.ArgPerigeeDeg-130.5360) > 1e-9 {
+		t.Errorf("argp = %v", e.ArgPerigeeDeg)
+	}
+	if math.Abs(e.MeanAnomalyDeg-325.0288) > 1e-9 {
+		t.Errorf("ma = %v", e.MeanAnomalyDeg)
+	}
+	// 15.72 rev/day corresponds to a ~6730 km semi-major axis.
+	if math.Abs(e.SemiMajorKm-6730) > 10 {
+		t.Errorf("semi-major = %v, want ~6730", e.SemiMajorKm)
+	}
+	// Epoch: day 264.51782528 of 2008.
+	if e.Epoch.Year() != 2008 || e.Epoch.YearDay() != 264 {
+		t.Errorf("epoch = %v", e.Epoch)
+	}
+}
+
+func TestParseTLEErrors(t *testing.T) {
+	tests := []struct {
+		name         string
+		line1, line2 string
+	}{
+		{"short lines", "1 25544U", "2 25544"},
+		{"swapped lines", issLine2, issLine1},
+		{"bad checksum line1", issLine1[:68] + "0", issLine2},
+		{"bad checksum line2", issLine1, issLine2[:68] + "0"},
+		{"corrupt inclination", issLine1, issLine2[:8] + "xx.xxxx" + issLine2[15:]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseTLE("X", tt.line1, tt.line2); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}
+
+func TestTLEChecksumOfKnownLines(t *testing.T) {
+	if got := tleChecksum(issLine1); got != 7 {
+		t.Errorf("line1 checksum = %d, want 7", got)
+	}
+	if got := tleChecksum(issLine2); got != 7 {
+		t.Errorf("line2 checksum = %d, want 7", got)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	fleet, err := SyntheticEOFleet(EOFleetConfig{
+		Count: 25, MinAltitudeKm: 475, MaxAltitudeKm: 525, Seed: 7, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tle := range FleetTLEs(fleet) {
+		l1, l2 := FormatTLE(tle)
+		if len(l1) != 69 || len(l2) != 69 {
+			t.Fatalf("formatted lines have lengths %d, %d, want 69", len(l1), len(l2))
+		}
+		back, err := ParseTLE(tle.Name, l1, l2)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v\n%s\n%s", err, l1, l2)
+		}
+		if math.Abs(back.Elements.InclinationDeg-tle.Elements.InclinationDeg) > 1e-3 {
+			t.Errorf("inclination drifted: %v -> %v", tle.Elements.InclinationDeg, back.Elements.InclinationDeg)
+		}
+		if math.Abs(back.Elements.SemiMajorKm-tle.Elements.SemiMajorKm) > 0.5 {
+			t.Errorf("semi-major drifted: %v -> %v", tle.Elements.SemiMajorKm, back.Elements.SemiMajorKm)
+		}
+		if math.Abs(back.Elements.Eccentricity-tle.Elements.Eccentricity) > 1e-6 {
+			t.Errorf("eccentricity drifted: %v -> %v", tle.Elements.Eccentricity, back.Elements.Eccentricity)
+		}
+		// Position agreement at epoch within a kilometre.
+		p0 := tle.Elements.PositionECI(testEpoch)
+		p1 := back.Elements.PositionECI(testEpoch)
+		if p0.DistanceTo(p1) > 1.0 {
+			t.Errorf("position drifted %v km after round trip", p0.DistanceTo(p1))
+		}
+	}
+}
+
+func TestParseTLEFileThreeLineAndTwoLine(t *testing.T) {
+	input := issName + "\n" + issLine1 + "\n" + issLine2 + "\n\n" +
+		issLine1 + "\n" + issLine2 + "\n"
+	tles, err := ParseTLEFile(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tles) != 2 {
+		t.Fatalf("got %d records, want 2", len(tles))
+	}
+	if tles[0].Name != issName {
+		t.Errorf("first record name = %q", tles[0].Name)
+	}
+	if tles[1].Name != "" {
+		t.Errorf("second record name = %q, want empty", tles[1].Name)
+	}
+}
+
+func TestParseTLEFileTruncated(t *testing.T) {
+	if _, err := ParseTLEFile(strings.NewReader(issName + "\n" + issLine1)); err == nil {
+		t.Error("expected error for truncated record")
+	}
+}
+
+func TestSyntheticEOFleetProperties(t *testing.T) {
+	cfg := DefaultEOFleetConfig(testEpoch)
+	fleet, err := SyntheticEOFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 223 {
+		t.Fatalf("fleet size = %d, want 223", len(fleet))
+	}
+	for _, s := range fleet {
+		alt := s.Elements.SemiMajorKm - geo.EarthRadiusKm
+		if alt < 475 || alt > 525 {
+			t.Errorf("%s altitude %v outside [475,525]", s.Name, alt)
+		}
+		// Sun-synchronous inclinations at these altitudes are ~97.2-97.5°.
+		if s.Elements.InclinationDeg < 96.5 || s.Elements.InclinationDeg > 98.5 {
+			t.Errorf("%s inclination %v not sun-synchronous", s.Name, s.Elements.InclinationDeg)
+		}
+		if err := s.Elements.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSyntheticEOFleetDeterministic(t *testing.T) {
+	cfg := DefaultEOFleetConfig(testEpoch)
+	a, err := SyntheticEOFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticEOFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Elements != b[i].Elements {
+			t.Fatalf("fleet not deterministic at index %d", i)
+		}
+	}
+}
+
+func TestSyntheticEOFleetConfigErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  EOFleetConfig
+	}{
+		{"zero count", EOFleetConfig{Count: 0, MinAltitudeKm: 475, MaxAltitudeKm: 525, Epoch: testEpoch}},
+		{"inverted band", EOFleetConfig{Count: 5, MinAltitudeKm: 525, MaxAltitudeKm: 475, Epoch: testEpoch}},
+		{"zero epoch", EOFleetConfig{Count: 5, MinAltitudeKm: 475, MaxAltitudeKm: 525}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := SyntheticEOFleet(tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSSOInclinationMonotonic(t *testing.T) {
+	// SSO inclination grows with altitude in the LEO band.
+	last := 0.0
+	for alt := 400.0; alt <= 800; alt += 50 {
+		inc := ssoInclinationDeg(alt)
+		if inc <= last {
+			t.Fatalf("SSO inclination not increasing at %v km: %v <= %v", alt, inc, last)
+		}
+		last = inc
+	}
+}

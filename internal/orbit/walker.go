@@ -1,0 +1,93 @@
+package orbit
+
+import (
+	"fmt"
+	"time"
+
+	"spacebooking/internal/geo"
+)
+
+// WalkerConfig describes a Walker-Delta constellation i:t/p/f — the
+// geometry used by Starlink Shell I (53°: 1584/22/17 at 550 km) and most
+// proposed broadband shells.
+type WalkerConfig struct {
+	Planes         int
+	SatsPerPlane   int
+	AltitudeKm     float64
+	InclinationDeg float64
+	// PhasingF is the Walker phasing factor f in [0, Planes). Adjacent
+	// planes are phase-offset by f * 360 / (Planes*SatsPerPlane) degrees
+	// of mean anomaly.
+	PhasingF int
+	Epoch    time.Time
+}
+
+// Validate reports whether the configuration can produce a constellation.
+func (c WalkerConfig) Validate() error {
+	switch {
+	case c.Planes <= 0:
+		return fmt.Errorf("orbit: planes must be positive, got %d", c.Planes)
+	case c.SatsPerPlane <= 0:
+		return fmt.Errorf("orbit: satsPerPlane must be positive, got %d", c.SatsPerPlane)
+	case c.AltitudeKm <= 0:
+		return fmt.Errorf("orbit: altitude must be positive, got %v", c.AltitudeKm)
+	case c.PhasingF < 0 || c.PhasingF >= c.Planes:
+		return fmt.Errorf("orbit: phasing factor %d outside [0,%d)", c.PhasingF, c.Planes)
+	case c.Epoch.IsZero():
+		return fmt.Errorf("orbit: zero epoch")
+	}
+	return nil
+}
+
+// Total returns the number of satellites in the constellation.
+func (c WalkerConfig) Total() int { return c.Planes * c.SatsPerPlane }
+
+// StarlinkShell1 returns the configuration of SpaceX Starlink Shell I as
+// filed with the FCC and used in the paper's evaluation: 22 planes of 72
+// satellites at 550 km and 53° inclination.
+func StarlinkShell1(epoch time.Time) WalkerConfig {
+	return WalkerConfig{
+		Planes:         22,
+		SatsPerPlane:   72,
+		AltitudeKm:     550,
+		InclinationDeg: 53,
+		PhasingF:       17,
+		Epoch:          epoch,
+	}
+}
+
+// WalkerDelta generates the satellites of a Walker-Delta constellation.
+// Satellite IDs are assigned plane-major: id = plane*SatsPerPlane + slot.
+func WalkerDelta(c WalkerConfig) ([]Satellite, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	total := c.Total()
+	sats := make([]Satellite, 0, total)
+	a := geo.EarthRadiusKm + c.AltitudeKm
+	raanStep := 360.0 / float64(c.Planes)
+	maStep := 360.0 / float64(c.SatsPerPlane)
+	phaseStep := float64(c.PhasingF) * 360.0 / float64(total)
+
+	for p := 0; p < c.Planes; p++ {
+		for s := 0; s < c.SatsPerPlane; s++ {
+			id := p*c.SatsPerPlane + s
+			sats = append(sats, Satellite{
+				ID:           id,
+				Name:         fmt.Sprintf("SHELL-P%02dS%02d", p, s),
+				Plane:        p,
+				IndexInPlane: s,
+				Elements: Elements{
+					SemiMajorKm:    a,
+					Eccentricity:   0,
+					InclinationDeg: c.InclinationDeg,
+					RAANDeg:        float64(p) * raanStep,
+					ArgPerigeeDeg:  0,
+					MeanAnomalyDeg: float64(s)*maStep + float64(p)*phaseStep,
+					Epoch:          c.Epoch,
+				},
+			})
+		}
+	}
+	return sats, nil
+}

@@ -1,0 +1,123 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacebooking/internal/geo"
+)
+
+func TestWalkerConfigValidate(t *testing.T) {
+	valid := StarlinkShell1(testEpoch)
+	tests := []struct {
+		name    string
+		mutate  func(*WalkerConfig)
+		wantErr bool
+	}{
+		{"starlink shell 1", func(c *WalkerConfig) {}, false},
+		{"zero planes", func(c *WalkerConfig) { c.Planes = 0 }, true},
+		{"zero per plane", func(c *WalkerConfig) { c.SatsPerPlane = 0 }, true},
+		{"negative altitude", func(c *WalkerConfig) { c.AltitudeKm = -1 }, true},
+		{"phasing too large", func(c *WalkerConfig) { c.PhasingF = 22 }, true},
+		{"zero epoch", func(c *WalkerConfig) { c.Epoch = time.Time{} }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := valid
+			tt.mutate(&c)
+			if err := c.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWalkerDeltaStarlinkCount(t *testing.T) {
+	sats, err := WalkerDelta(StarlinkShell1(testEpoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sats) != 1584 {
+		t.Fatalf("got %d satellites, want 1584", len(sats))
+	}
+	// IDs are plane-major and dense.
+	for i, s := range sats {
+		if s.ID != i {
+			t.Fatalf("satellite %d has ID %d", i, s.ID)
+		}
+		if s.Plane != i/72 || s.IndexInPlane != i%72 {
+			t.Fatalf("satellite %d has plane %d idx %d", i, s.Plane, s.IndexInPlane)
+		}
+	}
+}
+
+func TestWalkerDeltaInvalidConfig(t *testing.T) {
+	if _, err := WalkerDelta(WalkerConfig{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+}
+
+func TestWalkerDeltaGeometry(t *testing.T) {
+	cfg := WalkerConfig{
+		Planes: 4, SatsPerPlane: 8, AltitudeKm: 550,
+		InclinationDeg: 53, PhasingF: 1, Epoch: testEpoch,
+	}
+	sats, err := WalkerDelta(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RAAN spacing is 360/planes.
+	if got := sats[8].Elements.RAANDeg - sats[0].Elements.RAANDeg; got != 90 {
+		t.Errorf("RAAN spacing = %v, want 90", got)
+	}
+	// In-plane anomaly spacing is 360/satsPerPlane.
+	if got := sats[1].Elements.MeanAnomalyDeg - sats[0].Elements.MeanAnomalyDeg; got != 45 {
+		t.Errorf("anomaly spacing = %v, want 45", got)
+	}
+	// Walker phase offset between adjacent planes is F*360/total.
+	wantPhase := 1 * 360.0 / 32.0
+	if got := sats[8].Elements.MeanAnomalyDeg - sats[0].Elements.MeanAnomalyDeg; math.Abs(got-wantPhase) > 1e-12 {
+		t.Errorf("phase offset = %v, want %v", got, wantPhase)
+	}
+}
+
+func TestWalkerIntraPlaneSpacingUniform(t *testing.T) {
+	cfg := WalkerConfig{
+		Planes: 3, SatsPerPlane: 12, AltitudeKm: 550,
+		InclinationDeg: 53, PhasingF: 0, Epoch: testEpoch,
+	}
+	sats, err := WalkerDelta(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance between adjacent satellites in the same plane is the chord
+	// of 30 degrees, identical for every adjacent pair.
+	a := geo.EarthRadiusKm + 550
+	wantChord := 2 * a * math.Sin(geo.DegToRad(30)/2)
+	at := testEpoch.Add(13 * time.Minute)
+	for i := 0; i < 11; i++ {
+		d := sats[i].Elements.PositionECI(at).DistanceTo(sats[i+1].Elements.PositionECI(at))
+		if math.Abs(d-wantChord) > 0.01 {
+			t.Fatalf("pair %d-%d chord = %v, want %v", i, i+1, d, wantChord)
+		}
+	}
+}
+
+func TestWalkerAllSatellitesDistinct(t *testing.T) {
+	sats, err := WalkerDelta(WalkerConfig{
+		Planes: 6, SatsPerPlane: 10, AltitudeKm: 550,
+		InclinationDeg: 53, PhasingF: 3, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sats {
+		pi := sats[i].Elements.PositionECI(testEpoch)
+		for j := i + 1; j < len(sats); j++ {
+			if pi.DistanceTo(sats[j].Elements.PositionECI(testEpoch)) < 1 {
+				t.Fatalf("satellites %d and %d nearly co-located", i, j)
+			}
+		}
+	}
+}

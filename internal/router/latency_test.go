@@ -1,0 +1,85 @@
+package router
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacebooking/internal/graph"
+	"spacebooking/internal/grid"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+func TestPlanLatencyMs(t *testing.T) {
+	cfg := topology.DefaultConfig(time.Date(2026, time.July, 5, 0, 0, 0, 0, time.UTC))
+	cfg.Walker.Planes = 8
+	cfg.Walker.SatsPerPlane = 12
+	cfg.Walker.PhasingF = 3
+	cfg.Horizon = 20
+	cfg.MinElevationDeg = 10
+	prov, err := topology.NewProvider(cfg, []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},
+		{ID: 1, LatDeg: 34.1, LonDeg: -118.2},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topology.Endpoint{Kind: topology.EndpointGround, Index: 0}
+	dst := topology.Endpoint{Kind: topology.EndpointGround, Index: 1}
+
+	// Find a slot with visibility and build a 1-satellite path by hand.
+	for slot := 0; slot < prov.Horizon(); slot++ {
+		sv, err := prov.VisibleSats(src, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sv) == 0 {
+			continue
+		}
+		sat := sv[0]
+		numSats := prov.NumSats()
+		plan := Plan{Paths: []SlotPath{{
+			Slot: slot,
+			Path: graph.Path{
+				Nodes: []int{numSats, sat, numSats + 1},
+				Edges: make([]graph.Edge, 2),
+			},
+		}}}
+		req := workload.Request{Src: src, Dst: dst, StartSlot: slot, EndSlot: slot, RateMbps: 1}
+		got, err := PlanLatencyMs(prov, req, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected: (|src-sat| + |sat-dst|) / c.
+		srcPos, _ := prov.EndpointECEF(src, slot)
+		dstPos, _ := prov.EndpointECEF(dst, slot)
+		satPos := prov.SatPosECEF(slot, sat)
+		wantKm := srcPos.DistanceTo(satPos) + satPos.DistanceTo(dstPos)
+		want := wantKm / 299.792458
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("latency = %v ms, want %v", got, want)
+		}
+		if got < 1.8 { // at least the 550 km up-leg twice
+			t.Fatalf("latency %v ms implausibly small", got)
+		}
+		return
+	}
+	t.Skip("no visibility in horizon")
+}
+
+func TestPlanLatencyErrors(t *testing.T) {
+	if _, err := PlanLatencyMs(nil, workload.Request{}, Plan{}); err == nil {
+		t.Error("empty plan should error")
+	}
+}
+
+func TestPlanTotalHops(t *testing.T) {
+	p := Plan{Paths: []SlotPath{
+		{Path: graph.Path{Nodes: []int{0, 1, 2}, Edges: make([]graph.Edge, 2)}},
+		{Path: graph.Path{Nodes: []int{0, 3}, Edges: make([]graph.Edge, 1)}},
+	}}
+	if got := p.TotalHops(); got != 3 {
+		t.Errorf("TotalHops = %d, want 3", got)
+	}
+}

@@ -1,0 +1,354 @@
+// Package sim orchestrates one simulation run of the paper's evaluation:
+// it wires a dynamic-topology provider, a fresh resource state, one
+// admission algorithm (CEAR or a baseline), and an online request
+// sequence, then collects the metrics of §VI-A — social-welfare ratio,
+// energy-depleted satellite counts, congested-link counts, and their
+// time series.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"spacebooking/internal/adaptive"
+	"spacebooking/internal/baselines"
+	"spacebooking/internal/core"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/pricing"
+	"spacebooking/internal/router"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/trace"
+	"spacebooking/internal/workload"
+)
+
+// AlgorithmKind selects the admission algorithm of a run.
+type AlgorithmKind int
+
+// Supported algorithms: the paper's five, plus CEAR's ablation variants.
+const (
+	AlgCEAR AlgorithmKind = iota + 1
+	AlgSSP
+	AlgECARS
+	AlgERU
+	AlgERA
+	AlgCEARNoEnergy
+	AlgCEARNoAdmission
+	AlgCEARLinear
+	// AlgCEARAdaptive is the §V-B extension: CEAR whose F1/F2 are
+	// periodically re-derived from observed conditions, with a
+	// moving-average load predictor (AoP-style).
+	AlgCEARAdaptive
+)
+
+// String returns the display name.
+func (k AlgorithmKind) String() string {
+	switch k {
+	case AlgCEAR:
+		return "CEAR"
+	case AlgSSP:
+		return "SSP"
+	case AlgECARS:
+		return "ECARS"
+	case AlgERU:
+		return "ERU"
+	case AlgERA:
+		return "ERA"
+	case AlgCEARNoEnergy:
+		return "CEAR-NE"
+	case AlgCEARNoAdmission:
+		return "CEAR-AA"
+	case AlgCEARLinear:
+		return "CEAR-LIN"
+	case AlgCEARAdaptive:
+		return "CEAR-AD"
+	default:
+		return fmt.Sprintf("AlgorithmKind(%d)", int(k))
+	}
+}
+
+// PaperAlgorithms returns the five algorithms compared in Figs. 6-8.
+func PaperAlgorithms() []AlgorithmKind {
+	return []AlgorithmKind{AlgCEAR, AlgSSP, AlgECARS, AlgERU, AlgERA}
+}
+
+// RunConfig parameterises one simulation run on a shared environment.
+type RunConfig struct {
+	Algorithm AlgorithmKind
+	// Workload is the request-generation configuration (pairs included).
+	Workload workload.Config
+	// Energy holds the power-model constants.
+	Energy netstate.EnergyConfig
+	// Pricing configures CEAR (ignored by baselines).
+	Pricing pricing.Params
+	// MaxHops, when positive, applies CEAR's hop-limited search.
+	MaxHops int
+	// Weights configures the ECARS/ERU/ERA family (ignored otherwise).
+	Weights baselines.WeightOptions
+	// CongestionThresholdFrac and DepletionThresholdFrac define the
+	// Fig. 7 metrics (0.1 and 0.2 in the paper).
+	CongestionThresholdFrac float64
+	DepletionThresholdFrac  float64
+	// Trace, when non-nil, receives one structured record per admission
+	// decision plus per-slot network snapshots.
+	Trace *trace.Writer
+}
+
+// DefaultRunConfig returns the paper's settings for one algorithm.
+func DefaultRunConfig(alg AlgorithmKind, wl workload.Config) (RunConfig, error) {
+	params, err := pricing.Derive(1, 1, 20, 10)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	return RunConfig{
+		Algorithm:               alg,
+		Workload:                wl,
+		Energy:                  netstate.DefaultEnergyConfig(),
+		Pricing:                 params,
+		Weights:                 baselines.DefaultWeightOptions(),
+		CongestionThresholdFrac: 0.1,
+		DepletionThresholdFrac:  0.2,
+	}, nil
+}
+
+// Result collects everything a run produces.
+type Result struct {
+	Algorithm     string
+	TotalRequests int
+	Accepted      int
+	// TotalValuation and AcceptedValuation aggregate ρ_i; their ratio is
+	// the social-welfare ratio of Eq. (6) normalised by offered load.
+	TotalValuation    float64
+	AcceptedValuation float64
+	// Revenue is Σ π_i, the operator utility (CEAR only; baselines 0).
+	Revenue float64
+	// WelfareRatio = AcceptedValuation / TotalValuation.
+	WelfareRatio float64
+	// DepletedPerSlot[t] counts satellites below the depletion threshold
+	// at slot t under the final reservation state (Fig. 7 left).
+	DepletedPerSlot []int
+	// CongestedPerSlot[t] counts links with residual bandwidth below the
+	// congestion threshold (Fig. 7 right).
+	CongestedPerSlot []int
+	// CumulativeWelfareRatio[t] is the welfare ratio over requests that
+	// arrived in slots <= t (Fig. 8).
+	CumulativeWelfareRatio []float64
+	// AvgAcceptedHops is the mean per-slot path length of accepted plans.
+	AvgAcceptedHops float64
+	// AvgAcceptedLatencyMs is the mean one-way propagation latency of
+	// accepted plans (the paper's low-latency motivation).
+	AvgAcceptedLatencyMs float64
+	// Rejections categorises rejection reasons.
+	Rejections map[string]int
+}
+
+// MeanDepleted returns the time-average of DepletedPerSlot.
+func (r *Result) MeanDepleted() float64 {
+	if len(r.DepletedPerSlot) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range r.DepletedPerSlot {
+		sum += v
+	}
+	return float64(sum) / float64(len(r.DepletedPerSlot))
+}
+
+// MeanCongested returns the time-average of CongestedPerSlot.
+func (r *Result) MeanCongested() float64 {
+	if len(r.CongestedPerSlot) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range r.CongestedPerSlot {
+		sum += v
+	}
+	return float64(sum) / float64(len(r.CongestedPerSlot))
+}
+
+// buildAlgorithm constructs the algorithm and its backing state. Every
+// algorithm runs on strict (non-clamping) batteries: constraint (7c) is
+// part of the problem definition, not a CEAR feature — baselines must
+// also operate within physically available energy.
+func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *netstate.State, error) {
+	state, err := netstate.New(prov, rc.Energy, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch rc.Algorithm {
+	case AlgCEAR:
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops})
+		return alg, state, err
+	case AlgCEARNoEnergy:
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableEnergyPricing: true})
+		return alg, state, err
+	case AlgCEARNoAdmission:
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableAdmission: true})
+		return alg, state, err
+	case AlgCEARLinear:
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, LinearPricing: true})
+		return alg, state, err
+	case AlgCEARAdaptive:
+		acfg := adaptive.DefaultConfig(rc.Workload.ArrivalRatePerSlot)
+		predictor, err := adaptive.NewMovingAverage(3)
+		if err != nil {
+			return nil, nil, err
+		}
+		acfg.Predictor = predictor
+		acfg.InitialF1 = rc.Pricing.F1
+		acfg.InitialF2 = rc.Pricing.F2
+		acfg.MaxHops = rc.MaxHops
+		alg, err := adaptive.New(state, acfg)
+		return alg, state, err
+	case AlgSSP:
+		alg, err := baselines.NewSSP(state)
+		return alg, state, err
+	case AlgECARS:
+		alg, err := baselines.NewECARS(state, rc.Weights)
+		return alg, state, err
+	case AlgERU:
+		alg, err := baselines.NewERU(state, rc.Weights)
+		return alg, state, err
+	case AlgERA:
+		alg, err := baselines.NewERA(state, rc.Weights)
+		return alg, state, err
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown algorithm kind %d", rc.Algorithm)
+	}
+}
+
+// classifyReason maps a rejection reason to a stable category.
+func classifyReason(reason string) string {
+	switch {
+	case strings.Contains(reason, "no feasible path"):
+		return "no-path"
+	case strings.Contains(reason, "exceeds valuation"):
+		return "priced-out"
+	case strings.Contains(reason, "energy infeasible"):
+		return "energy-infeasible"
+	default:
+		return "other"
+	}
+}
+
+// Run executes one complete simulation: generate the workload, process
+// every request online, then sweep the final state for the per-slot
+// metrics.
+func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
+	if prov == nil {
+		return nil, fmt.Errorf("sim: nil provider")
+	}
+	if rc.CongestionThresholdFrac <= 0 || rc.DepletionThresholdFrac <= 0 {
+		return nil, fmt.Errorf("sim: thresholds must be positive (congestion %v, depletion %v)",
+			rc.CongestionThresholdFrac, rc.DepletionThresholdFrac)
+	}
+	reqs, err := workload.Generate(rc.Workload)
+	if err != nil {
+		return nil, err
+	}
+	alg, state, err := buildAlgorithm(prov, rc)
+	if err != nil {
+		return nil, err
+	}
+
+	horizon := prov.Horizon()
+	res := &Result{
+		Algorithm:     alg.Name(),
+		TotalRequests: len(reqs),
+		Rejections:    make(map[string]int),
+	}
+	// Per-arrival-slot aggregates for the cumulative welfare series.
+	arrivedVal := make([]float64, horizon)
+	acceptedVal := make([]float64, horizon)
+	totalHops, totalSlotPaths := 0, 0
+	totalLatency := 0.0
+
+	if rc.Trace != nil {
+		rc.Trace.Emit(trace.Record{
+			Kind:      trace.KindRunInfo,
+			Algorithm: alg.Name(),
+			Rate:      rc.Workload.ArrivalRatePerSlot,
+			Seed:      rc.Workload.Seed,
+		})
+	}
+
+	for _, req := range reqs {
+		if req.ArrivalSlot < 0 || req.ArrivalSlot >= horizon {
+			return nil, fmt.Errorf("sim: request %d arrival slot %d outside horizon [0,%d)",
+				req.ID, req.ArrivalSlot, horizon)
+		}
+		d, err := alg.Handle(req)
+		if err != nil {
+			return nil, fmt.Errorf("sim: request %d: %w", req.ID, err)
+		}
+		if rc.Trace != nil {
+			rc.Trace.Emit(trace.Record{
+				Kind:      trace.KindDecision,
+				RequestID: req.ID,
+				Arrival:   req.ArrivalSlot,
+				Start:     req.StartSlot,
+				End:       req.EndSlot,
+				RateMbps:  req.RateMbps,
+				Valuation: req.Valuation,
+				Accepted:  d.Accepted,
+				Price:     d.Price,
+				Reason:    d.Reason,
+				TotalHops: d.Plan.TotalHops(),
+			})
+		}
+		res.TotalValuation += req.Valuation
+		arrivedVal[req.ArrivalSlot] += req.Valuation
+		if d.Accepted {
+			res.Accepted++
+			res.AcceptedValuation += req.Valuation
+			res.Revenue += d.Price
+			acceptedVal[req.ArrivalSlot] += req.Valuation
+			totalHops += d.Plan.TotalHops()
+			totalSlotPaths += len(d.Plan.Paths)
+			if lat, err := router.PlanLatencyMs(prov, req, d.Plan); err == nil {
+				totalLatency += lat
+			}
+		} else {
+			res.Rejections[classifyReason(d.Reason)]++
+		}
+	}
+
+	if res.TotalValuation > 0 {
+		res.WelfareRatio = res.AcceptedValuation / res.TotalValuation
+	}
+	if totalSlotPaths > 0 {
+		res.AvgAcceptedHops = float64(totalHops) / float64(totalSlotPaths)
+	}
+	if res.Accepted > 0 {
+		res.AvgAcceptedLatencyMs = totalLatency / float64(res.Accepted)
+	}
+
+	res.DepletedPerSlot = make([]int, horizon)
+	res.CongestedPerSlot = make([]int, horizon)
+	res.CumulativeWelfareRatio = make([]float64, horizon)
+	cumArrived, cumAccepted := 0.0, 0.0
+	for t := 0; t < horizon; t++ {
+		res.DepletedPerSlot[t] = state.DepletedSatCount(t, rc.DepletionThresholdFrac)
+		res.CongestedPerSlot[t] = state.CongestedLinkCount(t, rc.CongestionThresholdFrac)
+		cumArrived += arrivedVal[t]
+		cumAccepted += acceptedVal[t]
+		if cumArrived > 0 {
+			res.CumulativeWelfareRatio[t] = cumAccepted / cumArrived
+		} else {
+			res.CumulativeWelfareRatio[t] = 1
+		}
+		if rc.Trace != nil {
+			rc.Trace.Emit(trace.Record{
+				Kind:      trace.KindSnapshot,
+				Slot:      t,
+				Depleted:  res.DepletedPerSlot[t],
+				Congested: res.CongestedPerSlot[t],
+			})
+		}
+	}
+	if rc.Trace != nil {
+		if err := rc.Trace.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: trace: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/pricing"
+	"spacebooking/internal/trace"
+
+	"spacebooking/internal/grid"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+var testEpoch = time.Date(2026, time.July, 5, 0, 0, 0, 0, time.UTC)
+
+// sharedProvider is built once: provider construction dominates test time.
+var (
+	provOnce   sync.Once
+	sharedProv *topology.Provider
+	provErr    error
+)
+
+func testProvider(t *testing.T) *topology.Provider {
+	t.Helper()
+	provOnce.Do(func() {
+		cfg := topology.DefaultConfig(testEpoch)
+		cfg.Walker.Planes = 8
+		cfg.Walker.SatsPerPlane = 12
+		cfg.Walker.PhasingF = 3
+		cfg.Horizon = 60
+		sharedProv, provErr = topology.NewProvider(cfg, testSites(), nil)
+	})
+	if provErr != nil {
+		t.Fatal(provErr)
+	}
+	return sharedProv
+}
+
+func testSites() []grid.Site {
+	return []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},  // New York
+		{ID: 1, LatDeg: 34.1, LonDeg: -118.2}, // Los Angeles
+		{ID: 2, LatDeg: 51.5, LonDeg: -0.1},   // London
+		{ID: 3, LatDeg: 35.7, LonDeg: 139.7},  // Tokyo
+	}
+}
+
+func testPairs() []workload.Pair {
+	ep := func(i int) topology.Endpoint {
+		return topology.Endpoint{Kind: topology.EndpointGround, Index: i}
+	}
+	return []workload.Pair{
+		{Src: ep(0), Dst: ep(1)},
+		{Src: ep(2), Dst: ep(3)},
+		{Src: ep(0), Dst: ep(3)},
+	}
+}
+
+func testWorkload(rate float64, seed int64) workload.Config {
+	cfg := workload.DefaultConfig(60, testPairs(), seed)
+	cfg.ArrivalRatePerSlot = rate
+	return cfg
+}
+
+func runOne(t *testing.T, alg AlgorithmKind, rate float64, seed int64) *Result {
+	t.Helper()
+	prov := testProvider(t)
+	rc, err := DefaultRunConfig(alg, testWorkload(rate, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prov, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAlgorithmKindString(t *testing.T) {
+	tests := map[AlgorithmKind]string{
+		AlgCEAR: "CEAR", AlgSSP: "SSP", AlgECARS: "ECARS",
+		AlgERU: "ERU", AlgERA: "ERA",
+		AlgCEARNoEnergy: "CEAR-NE", AlgCEARNoAdmission: "CEAR-AA",
+		AlgCEARLinear:     "CEAR-LIN",
+		AlgCEARAdaptive:   "CEAR-AD",
+		AlgorithmKind(99): "AlgorithmKind(99)",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if len(PaperAlgorithms()) != 5 {
+		t.Error("paper comparison is five algorithms")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	prov := testProvider(t)
+	rc, err := DefaultRunConfig(AlgCEAR, testWorkload(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(nil, rc); err == nil {
+		t.Error("nil provider should error")
+	}
+	bad := rc
+	bad.CongestionThresholdFrac = 0
+	if _, err := Run(prov, bad); err == nil {
+		t.Error("zero threshold should error")
+	}
+	bad = rc
+	bad.Algorithm = AlgorithmKind(0)
+	if _, err := Run(prov, bad); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	bad = rc
+	bad.Workload.Pairs = nil
+	if _, err := Run(prov, bad); err == nil {
+		t.Error("bad workload should error")
+	}
+}
+
+func TestRunAllAlgorithmsProduceSaneResults(t *testing.T) {
+	for _, alg := range []AlgorithmKind{AlgCEAR, AlgSSP, AlgECARS, AlgERU, AlgERA, AlgCEARNoEnergy, AlgCEARNoAdmission, AlgCEARLinear, AlgCEARAdaptive} {
+		t.Run(alg.String(), func(t *testing.T) {
+			res := runOne(t, alg, 2, 42)
+			if res.Algorithm != alg.String() {
+				t.Errorf("result algorithm = %q", res.Algorithm)
+			}
+			if res.TotalRequests == 0 {
+				t.Fatal("no requests generated")
+			}
+			if res.WelfareRatio < 0 || res.WelfareRatio > 1 {
+				t.Errorf("welfare ratio %v outside [0,1]", res.WelfareRatio)
+			}
+			if res.Accepted == 0 && alg != AlgERU {
+				t.Errorf("%s accepted nothing", alg)
+			}
+			if got := len(res.DepletedPerSlot); got != 60 {
+				t.Errorf("depleted series length %d", got)
+			}
+			if got := len(res.CongestedPerSlot); got != 60 {
+				t.Errorf("congested series length %d", got)
+			}
+			if got := len(res.CumulativeWelfareRatio); got != 60 {
+				t.Errorf("welfare series length %d", got)
+			}
+			for tt, v := range res.CumulativeWelfareRatio {
+				if v < 0 || v > 1 {
+					t.Fatalf("cumulative welfare %v at slot %d", v, tt)
+				}
+			}
+			accVal := res.AcceptedValuation
+			if accVal > res.TotalValuation {
+				t.Error("accepted valuation exceeds total")
+			}
+			rejected := 0
+			for _, n := range res.Rejections {
+				rejected += n
+			}
+			if res.Accepted+rejected != res.TotalRequests {
+				t.Errorf("accepted %d + rejected %d != total %d", res.Accepted, rejected, res.TotalRequests)
+			}
+		})
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a := runOne(t, AlgCEAR, 2, 7)
+	b := runOne(t, AlgCEAR, 2, 7)
+	if a.Accepted != b.Accepted || a.WelfareRatio != b.WelfareRatio || a.Revenue != b.Revenue {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestCEAROutperformsSSPUnderSaturation(t *testing.T) {
+	// Under heavy load on few pairs, CEAR's admission control and
+	// balanced routing must match or beat SSP's greedy min-hop welfare —
+	// the headline ordering of Fig. 6.
+	cear := runOne(t, AlgCEAR, 8, 3)
+	ssp := runOne(t, AlgSSP, 8, 3)
+	if cear.WelfareRatio < ssp.WelfareRatio-0.02 {
+		t.Errorf("CEAR welfare %v below SSP %v under saturation", cear.WelfareRatio, ssp.WelfareRatio)
+	}
+}
+
+func TestCEARRevenueOnlyForCEAR(t *testing.T) {
+	ssp := runOne(t, AlgSSP, 2, 5)
+	if ssp.Revenue != 0 {
+		t.Errorf("SSP revenue = %v, baselines charge nothing", ssp.Revenue)
+	}
+}
+
+func TestCEARKeepsBatteriesHealthierThanSSP(t *testing.T) {
+	cear := runOne(t, AlgCEAR, 8, 11)
+	ssp := runOne(t, AlgSSP, 8, 11)
+	if cear.MeanDepleted() > ssp.MeanDepleted()+0.5 {
+		t.Errorf("CEAR mean depleted %v worse than SSP %v", cear.MeanDepleted(), ssp.MeanDepleted())
+	}
+}
+
+func TestWelfareDecreasesWithArrivalRate(t *testing.T) {
+	// More offered load with the same capacity must not increase the
+	// welfare *ratio* (Fig. 6's downward trend) — allow small noise.
+	low := runOne(t, AlgCEAR, 1, 9)
+	high := runOne(t, AlgCEAR, 10, 9)
+	if high.WelfareRatio > low.WelfareRatio+0.05 {
+		t.Errorf("welfare ratio rose with load: %v (rate 1) -> %v (rate 10)",
+			low.WelfareRatio, high.WelfareRatio)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	prov := testProvider(t)
+	rc, err := DefaultRunConfig(AlgCEAR, testWorkload(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rc.Trace = trace.NewWriter(&buf)
+	res, err := Run(prov, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := trace.Summarize(records)
+	if summary.Total != res.TotalRequests {
+		t.Errorf("trace decisions %d != requests %d", summary.Total, res.TotalRequests)
+	}
+	if summary.Accepted != res.Accepted {
+		t.Errorf("trace accepted %d != %d", summary.Accepted, res.Accepted)
+	}
+	if math.Abs(summary.Revenue-res.Revenue) > 1e-6 {
+		t.Errorf("trace revenue %v != %v", summary.Revenue, res.Revenue)
+	}
+	if summary.Snapshots != prov.Horizon() {
+		t.Errorf("snapshots %d != horizon %d", summary.Snapshots, prov.Horizon())
+	}
+	if records[0].Kind != trace.KindRunInfo || records[0].Algorithm != "CEAR" {
+		t.Errorf("first record = %+v", records[0])
+	}
+}
+
+func TestCheckAssumptions(t *testing.T) {
+	prov := testProvider(t)
+	params, err := pricing.Derive(1, 1, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := netstate.DefaultEnergyConfig()
+
+	if _, err := CheckAssumptions(nil, params, ecfg, nil); err == nil {
+		t.Error("nil provider should error")
+	}
+
+	// The paper's evaluation workload violates the assumptions by design
+	// (valuations far above n𝕋F1+n𝕋F2=400, demands above c_min/log2μ).
+	reqs, err := workload.Generate(testWorkload(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckAssumptions(prov, params, ecfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != len(reqs) {
+		t.Errorf("total = %d", rep.Total)
+	}
+	if rep.Compliant() {
+		t.Error("the default workload should violate the assumptions (the paper says so)")
+	}
+	if rep.ValuationTooHigh != len(reqs) {
+		t.Errorf("valuation-high = %d, want all %d (ρ=1e8 >> 400)", rep.ValuationTooHigh, len(reqs))
+	}
+	if rep.DemandTooLarge != len(reqs) {
+		t.Errorf("demand-large = %d, want all (500-2000 Mbps > 4000/log2(402))", rep.DemandTooLarge)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+
+	// A theory-compliant request: tiny demand, valuation inside the band.
+	tiny := []workload.Request{{
+		ID: 1, Src: reqs[0].Src, Dst: reqs[0].Dst,
+		StartSlot: 0, EndSlot: 0, RateMbps: 0.0001, Valuation: 399,
+	}}
+	rep2, err := CheckAssumptions(prov, params, ecfg, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Compliant() {
+		t.Errorf("tiny request should comply: %s", rep2)
+	}
+	if rep2.String() == "" || rep2.Total != 1 {
+		t.Errorf("report = %+v", rep2)
+	}
+
+	// Invalid request surfaces an error.
+	bad := []workload.Request{{ID: 2, Src: reqs[0].Src, Dst: reqs[0].Dst, StartSlot: 0, EndSlot: 9999, RateMbps: 1, Valuation: 1}}
+	if _, err := CheckAssumptions(prov, params, ecfg, bad); err == nil {
+		t.Error("invalid request should error")
+	}
+}
+
+func TestLatencyMetricPlausible(t *testing.T) {
+	res := runOne(t, AlgCEAR, 2, 42)
+	if res.Accepted == 0 {
+		t.Skip("nothing accepted")
+	}
+	// LEO paths: one up-leg + a few ISL hops + one down-leg. Plausible
+	// one-way propagation latency is 3-150 ms.
+	if res.AvgAcceptedLatencyMs < 3 || res.AvgAcceptedLatencyMs > 150 {
+		t.Errorf("avg latency = %v ms, implausible for LEO", res.AvgAcceptedLatencyMs)
+	}
+}

@@ -1,0 +1,401 @@
+// Package topology builds the time-slotted view of the LSN that the
+// paper's system model (§III-A) prescribes: per-slot satellite positions,
+// sunlit/umbra flags, the static +Grid inter-satellite link fabric, and
+// per-slot user-satellite link (USL) visibility for both ground users and
+// space users (Earth-observation satellites).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"spacebooking/internal/geo"
+	"spacebooking/internal/grid"
+	"spacebooking/internal/orbit"
+)
+
+// Config parameterises the dynamic-topology provider. Defaults mirroring
+// the paper's §VI-A are available via DefaultConfig.
+type Config struct {
+	Walker orbit.WalkerConfig
+	// ExtraShells adds further Walker shells (real constellations deploy
+	// several, e.g. Starlink's 53.2°/70°/97.6° shells). Each shell gets
+	// its own +Grid ISL fabric; there are no inter-shell ISLs — traffic
+	// crosses shells only via the ground segment, matching deployed
+	// systems. Satellite IDs are assigned shell-major.
+	ExtraShells []orbit.WalkerConfig
+	// SlotSeconds is the length of one time slot (60 s in the paper).
+	SlotSeconds float64
+	// Horizon is the number of slots simulated (384 = 4 orbital periods).
+	Horizon int
+	// ISLCapacityMbps and USLCapacityMbps are per-direction link
+	// capacities (20 Gbps and 4 Gbps in the paper).
+	ISLCapacityMbps float64
+	USLCapacityMbps float64
+	// MinElevationDeg is the minimum elevation for a ground USL
+	// (Starlink terminals use 25°).
+	MinElevationDeg float64
+	// MaxEORangeKm is the maximum slant range for a space-user USL
+	// between an EO satellite and a broadband satellite.
+	MaxEORangeKm float64
+}
+
+// DefaultConfig returns the paper's evaluation parameters on the
+// Starlink Shell-I constellation.
+func DefaultConfig(epoch time.Time) Config {
+	return Config{
+		Walker:          orbit.StarlinkShell1(epoch),
+		SlotSeconds:     60,
+		Horizon:         96 * 4,
+		ISLCapacityMbps: 20000,
+		USLCapacityMbps: 4000,
+		MinElevationDeg: 25,
+		MaxEORangeKm:    1500,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Walker.Validate(); err != nil {
+		return err
+	}
+	for i, shell := range c.ExtraShells {
+		if err := shell.Validate(); err != nil {
+			return fmt.Errorf("topology: extra shell %d: %w", i, err)
+		}
+	}
+	switch {
+	case c.SlotSeconds <= 0:
+		return fmt.Errorf("topology: slot length must be positive, got %v", c.SlotSeconds)
+	case c.Horizon <= 0:
+		return fmt.Errorf("topology: horizon must be positive, got %d", c.Horizon)
+	case c.ISLCapacityMbps <= 0 || c.USLCapacityMbps <= 0:
+		return fmt.Errorf("topology: link capacities must be positive (ISL %v, USL %v)",
+			c.ISLCapacityMbps, c.USLCapacityMbps)
+	case c.MinElevationDeg < 0 || c.MinElevationDeg >= 90:
+		return fmt.Errorf("topology: min elevation %v outside [0,90)", c.MinElevationDeg)
+	case c.MaxEORangeKm <= 0:
+		return fmt.Errorf("topology: max EO range must be positive, got %v", c.MaxEORangeKm)
+	}
+	return nil
+}
+
+// EndpointKind distinguishes ground users from space users.
+type EndpointKind int
+
+const (
+	// EndpointGround is a terrestrial user at a tiling site.
+	EndpointGround EndpointKind = iota + 1
+	// EndpointSpace is an Earth-observation satellite acting as a user.
+	EndpointSpace
+)
+
+// Endpoint identifies a request source or destination: a ground site
+// (index into the provider's site list) or an EO satellite (index into
+// the provider's EO fleet).
+type Endpoint struct {
+	Kind  EndpointKind
+	Index int
+}
+
+// Provider precomputes and serves the per-slot state of the LSN.
+// It is safe for concurrent read use after construction.
+type Provider struct {
+	cfg   Config
+	sats  []orbit.Satellite
+	sites []grid.Site
+	eo    []orbit.Satellite
+
+	// satECEF[slot][sat] and eoECEF[slot][eo] are Earth-fixed positions;
+	// satECI[slot][sat] is used for eclipse tests.
+	satECI  [][]geo.Vec3
+	satECEF [][]geo.Vec3
+	eoECEF  [][]geo.Vec3
+	sunlit  [][]bool
+
+	siteECEF []geo.Vec3
+
+	islNeighbors [][]int
+	maxSlantKm   float64
+
+	visMu    sync.RWMutex
+	visCache map[visKey][]int
+}
+
+type visKey struct {
+	kind  EndpointKind
+	index int
+	slot  int
+}
+
+// NewProvider builds the provider, propagating every satellite (and EO
+// satellite) across all slots and precomputing sunlit flags and the +Grid
+// ISL fabric. sites and eoFleet may be empty if the workload does not use
+// the corresponding endpoint kind.
+func NewProvider(cfg Config, sites []grid.Site, eoFleet []orbit.Satellite) (*Provider, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shells := append([]orbit.WalkerConfig{cfg.Walker}, cfg.ExtraShells...)
+	var sats []orbit.Satellite
+	var islNeighbors [][]int
+	for _, shell := range shells {
+		shellSats, err := orbit.WalkerDelta(shell)
+		if err != nil {
+			return nil, err
+		}
+		offset := len(sats)
+		grid := buildPlusGrid(shell)
+		for i := range shellSats {
+			shellSats[i].ID += offset
+			neighbors := make([]int, len(grid[i]))
+			for j, n := range grid[i] {
+				neighbors[j] = n + offset
+			}
+			islNeighbors = append(islNeighbors, neighbors)
+		}
+		sats = append(sats, shellSats...)
+	}
+
+	p := &Provider{
+		cfg:      cfg,
+		sats:     sats,
+		sites:    append([]grid.Site(nil), sites...),
+		eo:       append([]orbit.Satellite(nil), eoFleet...),
+		visCache: make(map[visKey][]int),
+	}
+
+	p.siteECEF = make([]geo.Vec3, len(p.sites))
+	for i, s := range p.sites {
+		p.siteECEF[i] = geo.LLAToECEF(s.LLA())
+	}
+
+	p.satECI = make([][]geo.Vec3, cfg.Horizon)
+	p.satECEF = make([][]geo.Vec3, cfg.Horizon)
+	p.eoECEF = make([][]geo.Vec3, cfg.Horizon)
+	p.sunlit = make([][]bool, cfg.Horizon)
+	epoch := cfg.Walker.Epoch
+	for t := 0; t < cfg.Horizon; t++ {
+		at := epoch.Add(time.Duration(float64(t) * cfg.SlotSeconds * float64(time.Second)))
+		gmst := geo.GMST(at)
+		sunDir := geo.SunDirectionECI(at)
+
+		eci := make([]geo.Vec3, len(sats))
+		ecef := make([]geo.Vec3, len(sats))
+		lit := make([]bool, len(sats))
+		for i, s := range sats {
+			pos := s.Elements.PositionECI(at)
+			eci[i] = pos
+			ecef[i] = geo.ECIToECEF(pos, gmst)
+			lit[i] = !geo.InUmbra(pos, sunDir)
+		}
+		p.satECI[t] = eci
+		p.satECEF[t] = ecef
+		p.sunlit[t] = lit
+
+		eoPos := make([]geo.Vec3, len(p.eo))
+		for i, s := range p.eo {
+			eoPos[i] = geo.ECIToECEF(s.Elements.PositionECI(at), gmst)
+		}
+		p.eoECEF[t] = eoPos
+	}
+
+	p.islNeighbors = islNeighbors
+	maxAlt := cfg.Walker.AltitudeKm
+	for _, shell := range cfg.ExtraShells {
+		if shell.AltitudeKm > maxAlt {
+			maxAlt = shell.AltitudeKm
+		}
+	}
+	p.maxSlantKm = maxSlantRangeKm(maxAlt, cfg.MinElevationDeg)
+	return p, nil
+}
+
+// buildPlusGrid returns, for each satellite, its +Grid neighbours: the
+// previous/next satellite in the same plane and the same-index satellite
+// in the two adjacent planes (including across the seam).
+func buildPlusGrid(w orbit.WalkerConfig) [][]int {
+	id := func(plane, idx int) int {
+		return ((plane+w.Planes)%w.Planes)*w.SatsPerPlane + (idx+w.SatsPerPlane)%w.SatsPerPlane
+	}
+	out := make([][]int, w.Total())
+	for plane := 0; plane < w.Planes; plane++ {
+		for idx := 0; idx < w.SatsPerPlane; idx++ {
+			self := id(plane, idx)
+			neighbors := make([]int, 0, 4)
+			if w.SatsPerPlane > 1 {
+				neighbors = append(neighbors, id(plane, idx+1))
+				if w.SatsPerPlane > 2 {
+					neighbors = append(neighbors, id(plane, idx-1))
+				}
+			}
+			if w.Planes > 1 {
+				neighbors = append(neighbors, id(plane+1, idx))
+				if w.Planes > 2 {
+					neighbors = append(neighbors, id(plane-1, idx))
+				}
+			}
+			out[self] = neighbors
+		}
+	}
+	return out
+}
+
+// maxSlantRangeKm returns the slant range from a ground observer to a
+// satellite at the given altitude seen exactly at the minimum elevation.
+func maxSlantRangeKm(altKm, minElevDeg float64) float64 {
+	re := geo.EarthRadiusKm
+	el := geo.DegToRad(minElevDeg)
+	// Law of cosines in the Earth-centre/observer/satellite triangle.
+	return -re*math.Sin(el) + math.Sqrt(re*re*math.Sin(el)*math.Sin(el)+2*re*altKm+altKm*altKm)
+}
+
+// Config returns the provider's configuration.
+func (p *Provider) Config() Config { return p.cfg }
+
+// NumSats returns the number of broadband satellites.
+func (p *Provider) NumSats() int { return len(p.sats) }
+
+// NumSites returns the number of registered ground sites.
+func (p *Provider) NumSites() int { return len(p.sites) }
+
+// NumEO returns the number of space users (EO satellites).
+func (p *Provider) NumEO() int { return len(p.eo) }
+
+// Horizon returns the number of simulated slots.
+func (p *Provider) Horizon() int { return p.cfg.Horizon }
+
+// Satellites returns the broadband satellite list (do not modify).
+func (p *Provider) Satellites() []orbit.Satellite { return p.sats }
+
+// Sites returns the ground-site list (do not modify).
+func (p *Provider) Sites() []grid.Site { return p.sites }
+
+// SatPosECI returns the ECI position of a satellite in a slot.
+func (p *Provider) SatPosECI(slot, sat int) geo.Vec3 { return p.satECI[slot][sat] }
+
+// SatPosECEF returns the Earth-fixed position of a satellite in a slot.
+func (p *Provider) SatPosECEF(slot, sat int) geo.Vec3 { return p.satECEF[slot][sat] }
+
+// Sunlit reports whether a satellite is in sunlight during a slot.
+func (p *Provider) Sunlit(slot, sat int) bool { return p.sunlit[slot][sat] }
+
+// SiteECEF returns the Earth-fixed position of a registered ground site.
+func (p *Provider) SiteECEF(site int) geo.Vec3 { return p.siteECEF[site] }
+
+// EOPosECEF returns the Earth-fixed position of an EO satellite in a slot.
+func (p *Provider) EOPosECEF(slot, eo int) geo.Vec3 { return p.eoECEF[slot][eo] }
+
+// EndpointECEF returns the Earth-fixed position of an endpoint in a slot.
+func (p *Provider) EndpointECEF(e Endpoint, slot int) (geo.Vec3, error) {
+	switch e.Kind {
+	case EndpointGround:
+		if e.Index < 0 || e.Index >= len(p.sites) {
+			return geo.Vec3{}, fmt.Errorf("topology: ground site %d outside [0,%d)", e.Index, len(p.sites))
+		}
+		return p.siteECEF[e.Index], nil
+	case EndpointSpace:
+		if e.Index < 0 || e.Index >= len(p.eo) {
+			return geo.Vec3{}, fmt.Errorf("topology: EO index %d outside [0,%d)", e.Index, len(p.eo))
+		}
+		return p.eoECEF[slot][e.Index], nil
+	default:
+		return geo.Vec3{}, fmt.Errorf("topology: unknown endpoint kind %d", e.Kind)
+	}
+}
+
+// SunlitVector returns the satellite's sunlit flags across all slots.
+func (p *Provider) SunlitVector(sat int) []bool {
+	out := make([]bool, p.cfg.Horizon)
+	for t := 0; t < p.cfg.Horizon; t++ {
+		out[t] = p.sunlit[t][sat]
+	}
+	return out
+}
+
+// ISLNeighbors returns the static +Grid neighbours of a satellite.
+// Callers must not modify the returned slice.
+func (p *Provider) ISLNeighbors(sat int) []int { return p.islNeighbors[sat] }
+
+// VisibleSats returns the broadband satellites that endpoint e can reach
+// with a USL in the given slot: above the minimum elevation for ground
+// users, or within MaxEORangeKm with clear line of sight for space
+// users. Results are memoised. Callers must not modify the returned
+// slice.
+func (p *Provider) VisibleSats(e Endpoint, slot int) ([]int, error) {
+	if slot < 0 || slot >= p.cfg.Horizon {
+		return nil, fmt.Errorf("topology: slot %d outside horizon [0,%d)", slot, p.cfg.Horizon)
+	}
+	switch e.Kind {
+	case EndpointGround:
+		if e.Index < 0 || e.Index >= len(p.sites) {
+			return nil, fmt.Errorf("topology: ground site %d outside [0,%d)", e.Index, len(p.sites))
+		}
+	case EndpointSpace:
+		if e.Index < 0 || e.Index >= len(p.eo) {
+			return nil, fmt.Errorf("topology: EO index %d outside [0,%d)", e.Index, len(p.eo))
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown endpoint kind %d", e.Kind)
+	}
+
+	key := visKey{kind: e.Kind, index: e.Index, slot: slot}
+	p.visMu.RLock()
+	cached, ok := p.visCache[key]
+	p.visMu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+
+	var visible []int
+	if e.Kind == EndpointGround {
+		obs := p.siteECEF[e.Index]
+		maxSq := p.maxSlantKm * p.maxSlantKm
+		for sat, pos := range p.satECEF[slot] {
+			if pos.Sub(obs).NormSq() > maxSq {
+				continue
+			}
+			if geo.ElevationDeg(obs, pos) >= p.cfg.MinElevationDeg {
+				visible = append(visible, sat)
+			}
+		}
+	} else {
+		obs := p.eoECEF[slot][e.Index]
+		maxSq := p.cfg.MaxEORangeKm * p.cfg.MaxEORangeKm
+		for sat, pos := range p.satECEF[slot] {
+			if pos.Sub(obs).NormSq() > maxSq {
+				continue
+			}
+			if geo.LineOfSightClear(obs, pos, 0) {
+				visible = append(visible, sat)
+			}
+		}
+	}
+
+	p.visMu.Lock()
+	p.visCache[key] = visible
+	p.visMu.Unlock()
+	return visible, nil
+}
+
+// GlobalID maps endpoints into a single dense node-ID space shared with
+// satellites: satellites occupy [0, NumSats), ground sites
+// [NumSats, NumSats+NumSites), EO satellites after that. Link ledgers key
+// on these IDs so reservations are stable across slots.
+func (p *Provider) GlobalID(e Endpoint) int {
+	switch e.Kind {
+	case EndpointGround:
+		return len(p.sats) + e.Index
+	case EndpointSpace:
+		return len(p.sats) + len(p.sites) + e.Index
+	default:
+		return -1
+	}
+}
+
+// TotalNodes returns the size of the global node-ID space.
+func (p *Provider) TotalNodes() int {
+	return len(p.sats) + len(p.sites) + len(p.eo)
+}

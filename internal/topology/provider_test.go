@@ -1,0 +1,488 @@
+package topology
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"spacebooking/internal/geo"
+	"spacebooking/internal/grid"
+	"spacebooking/internal/orbit"
+)
+
+var testEpoch = time.Date(2026, time.July, 5, 0, 0, 0, 0, time.UTC)
+
+// smallConfig is an 8-plane x 12-satellite shell, enough structure for
+// every topological property while staying fast.
+func smallConfig() Config {
+	cfg := DefaultConfig(testEpoch)
+	cfg.Walker.Planes = 8
+	cfg.Walker.SatsPerPlane = 12
+	cfg.Walker.PhasingF = 3
+	cfg.Horizon = 30
+	return cfg
+}
+
+func newSmallProvider(t *testing.T, sites []grid.Site, eo []orbit.Satellite) *Provider {
+	t.Helper()
+	p, err := NewProvider(smallConfig(), sites, eo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad walker", func(c *Config) { c.Walker.Planes = 0 }},
+		{"zero slot", func(c *Config) { c.SlotSeconds = 0 }},
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"zero ISL capacity", func(c *Config) { c.ISLCapacityMbps = 0 }},
+		{"zero USL capacity", func(c *Config) { c.USLCapacityMbps = 0 }},
+		{"elevation 90", func(c *Config) { c.MinElevationDeg = 90 }},
+		{"negative elevation", func(c *Config) { c.MinElevationDeg = -1 }},
+		{"zero EO range", func(c *Config) { c.MaxEORangeKm = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if err := smallConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestProviderBasicCounts(t *testing.T) {
+	sites := []grid.Site{{ID: 0, LatDeg: 40.7, LonDeg: -74.0}}
+	eo, err := orbit.SyntheticEOFleet(orbit.EOFleetConfig{
+		Count: 5, MinAltitudeKm: 475, MaxAltitudeKm: 525, Seed: 1, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newSmallProvider(t, sites, eo)
+	if p.NumSats() != 96 {
+		t.Errorf("NumSats = %d, want 96", p.NumSats())
+	}
+	if p.NumSites() != 1 || p.NumEO() != 5 {
+		t.Errorf("sites/EO = %d/%d", p.NumSites(), p.NumEO())
+	}
+	if p.Horizon() != 30 {
+		t.Errorf("Horizon = %d", p.Horizon())
+	}
+	if p.TotalNodes() != 96+1+5 {
+		t.Errorf("TotalNodes = %d", p.TotalNodes())
+	}
+}
+
+func TestPlusGridNeighborStructure(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	w := p.Config().Walker
+	for sat := 0; sat < p.NumSats(); sat++ {
+		neighbors := p.ISLNeighbors(sat)
+		if len(neighbors) != 4 {
+			t.Fatalf("satellite %d has %d neighbors, want 4", sat, len(neighbors))
+		}
+		plane, idx := sat/w.SatsPerPlane, sat%w.SatsPerPlane
+		want := map[int]bool{
+			plane*w.SatsPerPlane + (idx+1)%w.SatsPerPlane:                true,
+			plane*w.SatsPerPlane + (idx-1+w.SatsPerPlane)%w.SatsPerPlane: true,
+			((plane+1)%w.Planes)*w.SatsPerPlane + idx:                    true,
+			((plane-1+w.Planes)%w.Planes)*w.SatsPerPlane + idx:           true,
+		}
+		for _, n := range neighbors {
+			if !want[n] {
+				t.Fatalf("satellite %d has unexpected neighbor %d", sat, n)
+			}
+		}
+	}
+}
+
+func TestPlusGridSymmetric(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	for sat := 0; sat < p.NumSats(); sat++ {
+		for _, n := range p.ISLNeighbors(sat) {
+			found := false
+			for _, back := range p.ISLNeighbors(n) {
+				if back == sat {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("ISL %d->%d not symmetric", sat, n)
+			}
+		}
+	}
+}
+
+func TestPlusGridDegenerateShells(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Walker.Planes = 2
+	cfg.Walker.SatsPerPlane = 2
+	cfg.Walker.PhasingF = 0
+	p, err := NewProvider(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 planes and 2 sats per plane there must be no duplicate
+	// neighbor entries (next == prev collapses).
+	for sat := 0; sat < p.NumSats(); sat++ {
+		seen := map[int]bool{}
+		for _, n := range p.ISLNeighbors(sat) {
+			if n == sat {
+				t.Fatalf("satellite %d is its own neighbor", sat)
+			}
+			if seen[n] {
+				t.Fatalf("satellite %d lists neighbor %d twice", sat, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestNeighborDistancesBounded(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	// Intra-plane neighbours are 360/12=30 degrees apart; the chord at
+	// a+550 km is ~3586 km. Cross-plane neighbours in planes 45° of RAAN
+	// apart (plus Walker phasing) can reach ~55° of central angle near
+	// the equator, so bound at the chord of 70° — still far from
+	// antipodal, which is what this test guards against.
+	a := geo.EarthRadiusKm + 550
+	maxChord := 2 * a * math.Sin(geo.DegToRad(70/2.0))
+	for slot := 0; slot < p.Horizon(); slot += 7 {
+		for sat := 0; sat < p.NumSats(); sat++ {
+			for _, n := range p.ISLNeighbors(sat) {
+				d := p.SatPosECI(slot, sat).DistanceTo(p.SatPosECI(slot, n))
+				if d > maxChord {
+					t.Fatalf("slot %d: ISL %d-%d length %v exceeds %v", slot, sat, n, d, maxChord)
+				}
+				if d < 1 {
+					t.Fatalf("slot %d: ISL %d-%d co-located", slot, sat, n)
+				}
+			}
+		}
+	}
+}
+
+func TestSunlitFractionReasonable(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	lit, total := 0, 0
+	for slot := 0; slot < p.Horizon(); slot++ {
+		for sat := 0; sat < p.NumSats(); sat++ {
+			total++
+			if p.Sunlit(slot, sat) {
+				lit++
+			}
+		}
+	}
+	frac := float64(lit) / float64(total)
+	// For a 550 km shell roughly 58-70% of satellites are sunlit at any
+	// time (umbra fraction <= asin(Re/r)/pi ~ 0.37 in the worst plane).
+	if frac < 0.55 || frac > 0.95 {
+		t.Errorf("sunlit fraction = %v, expected within [0.55,0.95]", frac)
+	}
+}
+
+func TestSunlitVectorMatchesPointQueries(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	for _, sat := range []int{0, 13, 95} {
+		vec := p.SunlitVector(sat)
+		if len(vec) != p.Horizon() {
+			t.Fatalf("vector length %d", len(vec))
+		}
+		for slot, v := range vec {
+			if v != p.Sunlit(slot, sat) {
+				t.Fatalf("sat %d slot %d mismatch", sat, slot)
+			}
+		}
+	}
+}
+
+func TestSatellitesCycleThroughUmbra(t *testing.T) {
+	// Over a full orbital period (96 slots at 1 min), a satellite in a
+	// 53-degree orbit should experience both sunlight and umbra.
+	cfg := smallConfig()
+	cfg.Horizon = 96
+	p, err := NewProvider(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLit, sawDark := false, false
+	for slot := 0; slot < p.Horizon(); slot++ {
+		if p.Sunlit(slot, 0) {
+			sawLit = true
+		} else {
+			sawDark = true
+		}
+	}
+	if !sawLit || !sawDark {
+		t.Errorf("satellite 0 never cycled: lit=%v dark=%v", sawLit, sawDark)
+	}
+}
+
+func TestVisibleSatsGround(t *testing.T) {
+	sites := []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0}, // New York: covered by 53° shell
+		{ID: 1, LatDeg: 89.0, LonDeg: 0},     // near north pole: outside 53° coverage
+	}
+	p := newSmallProvider(t, sites, nil)
+
+	nySeen := 0
+	for slot := 0; slot < p.Horizon(); slot++ {
+		vis, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: 0}, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nySeen += len(vis)
+		// Every reported satellite must actually satisfy the elevation bound.
+		obs := geo.LLAToECEF(sites[0].LLA())
+		for _, sat := range vis {
+			el := geo.ElevationDeg(obs, p.SatPosECEF(slot, sat))
+			if el < p.Config().MinElevationDeg-1e-9 {
+				t.Fatalf("slot %d sat %d elevation %v below minimum", slot, sat, el)
+			}
+		}
+	}
+	if nySeen == 0 {
+		t.Error("New York never saw any satellite; visibility is broken")
+	}
+
+	poleSeen := 0
+	for slot := 0; slot < p.Horizon(); slot++ {
+		vis, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: 1}, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poleSeen += len(vis)
+	}
+	if poleSeen > 0 {
+		t.Errorf("north pole saw %d satellite-slots from a 53-degree shell", poleSeen)
+	}
+}
+
+func TestVisibleSatsSpace(t *testing.T) {
+	eo, err := orbit.SyntheticEOFleet(orbit.EOFleetConfig{
+		Count: 10, MinAltitudeKm: 475, MaxAltitudeKm: 525, Seed: 3, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newSmallProvider(t, nil, eo)
+	total := 0
+	for slot := 0; slot < p.Horizon(); slot++ {
+		for i := range eo {
+			vis, err := p.VisibleSats(Endpoint{Kind: EndpointSpace, Index: i}, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(vis)
+			for _, sat := range vis {
+				d := p.eoECEF[slot][i].DistanceTo(p.SatPosECEF(slot, sat))
+				if d > p.Config().MaxEORangeKm {
+					t.Fatalf("EO %d slot %d: reported sat %d at range %v", i, slot, sat, d)
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("no EO satellite ever saw a broadband satellite")
+	}
+}
+
+func TestVisibleSatsErrors(t *testing.T) {
+	p := newSmallProvider(t, []grid.Site{{ID: 0}}, nil)
+	tests := []struct {
+		name string
+		e    Endpoint
+		slot int
+	}{
+		{"bad slot", Endpoint{Kind: EndpointGround, Index: 0}, -1},
+		{"slot beyond horizon", Endpoint{Kind: EndpointGround, Index: 0}, 999},
+		{"site out of range", Endpoint{Kind: EndpointGround, Index: 5}, 0},
+		{"eo without fleet", Endpoint{Kind: EndpointSpace, Index: 0}, 0},
+		{"unknown kind", Endpoint{Kind: 0, Index: 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := p.VisibleSats(tt.e, tt.slot); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestVisibleSatsMemoised(t *testing.T) {
+	p := newSmallProvider(t, []grid.Site{{ID: 0, LatDeg: 35, LonDeg: 139}}, nil)
+	e := Endpoint{Kind: EndpointGround, Index: 0}
+	a, err := p.VisibleSats(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.VisibleSats(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("memoised result differs: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("memoised result differs at %d", i)
+		}
+	}
+}
+
+func TestGlobalIDs(t *testing.T) {
+	sites := []grid.Site{{ID: 0}, {ID: 1}}
+	eo, err := orbit.SyntheticEOFleet(orbit.EOFleetConfig{
+		Count: 3, MinAltitudeKm: 475, MaxAltitudeKm: 525, Seed: 1, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newSmallProvider(t, sites, eo)
+	s := p.NumSats()
+	if got := p.GlobalID(Endpoint{Kind: EndpointGround, Index: 1}); got != s+1 {
+		t.Errorf("ground 1 global ID = %d, want %d", got, s+1)
+	}
+	if got := p.GlobalID(Endpoint{Kind: EndpointSpace, Index: 2}); got != s+2+2 {
+		t.Errorf("EO 2 global ID = %d, want %d", got, s+4)
+	}
+	if got := p.GlobalID(Endpoint{Kind: 0}); got != -1 {
+		t.Errorf("unknown kind global ID = %d, want -1", got)
+	}
+}
+
+func TestMaxSlantRange(t *testing.T) {
+	// At 25° elevation and 550 km altitude the slant range is ~1123 km
+	// (standard LEO geometry).
+	got := maxSlantRangeKm(550, 25)
+	if math.Abs(got-1123) > 15 {
+		t.Errorf("slant range = %v, want ~1123", got)
+	}
+	// At zenith-only (89.9°) it approaches the altitude.
+	if got := maxSlantRangeKm(550, 89.9); math.Abs(got-550) > 1 {
+		t.Errorf("zenith slant = %v, want ~550", got)
+	}
+}
+
+func TestPositionsConsistentECIECEF(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	// Norms must agree (rotation preserves length).
+	for slot := 0; slot < p.Horizon(); slot += 11 {
+		for sat := 0; sat < p.NumSats(); sat += 17 {
+			eci := p.SatPosECI(slot, sat).Norm()
+			ecef := p.SatPosECEF(slot, sat).Norm()
+			if math.Abs(eci-ecef) > 1e-6 {
+				t.Fatalf("slot %d sat %d: |ECI| %v != |ECEF| %v", slot, sat, eci, ecef)
+			}
+		}
+	}
+}
+
+func TestVisibleSatsConcurrentAccess(t *testing.T) {
+	// The visibility cache must be safe for concurrent readers (bench
+	// harnesses share one provider across runs).
+	p := newSmallProvider(t, []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},
+		{ID: 1, LatDeg: 34.1, LonDeg: -118.2},
+	}, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for slot := 0; slot < p.Horizon(); slot++ {
+				for site := 0; site < 2; site++ {
+					if _, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: site}, slot); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiShellProvider(t *testing.T) {
+	cfg := smallConfig()
+	second := cfg.Walker
+	second.Planes = 4
+	second.SatsPerPlane = 6
+	second.AltitudeKm = 1100
+	second.InclinationDeg = 70
+	second.PhasingF = 1
+	cfg.ExtraShells = []orbit.WalkerConfig{second}
+
+	p, err := NewProvider(cfg, []grid.Site{{ID: 0, LatDeg: 40.7, LonDeg: -74.0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSats := 96 + 24
+	if p.NumSats() != wantSats {
+		t.Fatalf("NumSats = %d, want %d", p.NumSats(), wantSats)
+	}
+	// Satellite IDs dense across shells.
+	for i, s := range p.Satellites() {
+		if s.ID != i {
+			t.Fatalf("satellite %d has ID %d", i, s.ID)
+		}
+	}
+	// ISLs never cross shells: shell-1 sats (0-95) only neighbour 0-95,
+	// shell-2 sats (96-119) only 96-119.
+	for sat := 0; sat < wantSats; sat++ {
+		for _, n := range p.ISLNeighbors(sat) {
+			if (sat < 96) != (n < 96) {
+				t.Fatalf("ISL %d-%d crosses shells", sat, n)
+			}
+		}
+	}
+	// Shell-2 satellites orbit at their own altitude.
+	alt := p.SatPosECI(0, 96).Norm() - geo.EarthRadiusKm
+	if math.Abs(alt-1100) > 1 {
+		t.Errorf("shell-2 altitude = %v, want 1100", alt)
+	}
+	// Ground visibility can reach the higher shell (pre-filter must use
+	// the tallest shell's slant range).
+	seenHigh := false
+	for slot := 0; slot < p.Horizon() && !seenHigh; slot++ {
+		vis, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: 0}, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sat := range vis {
+			if sat >= 96 {
+				seenHigh = true
+			}
+		}
+	}
+	if !seenHigh {
+		t.Error("the 70-degree 1100 km shell is never visible from New York; slant pre-filter too tight?")
+	}
+}
+
+func TestMultiShellValidation(t *testing.T) {
+	cfg := smallConfig()
+	bad := cfg.Walker
+	bad.Planes = 0
+	cfg.ExtraShells = []orbit.WalkerConfig{bad}
+	if _, err := NewProvider(cfg, nil, nil); err == nil {
+		t.Error("invalid extra shell should error")
+	}
+}

@@ -1,0 +1,65 @@
+package topology
+
+import "fmt"
+
+// ContactWindow is a maximal run of consecutive slots during which an
+// endpoint can reach at least one broadband satellite. Earth-observation
+// operators book downlinks against these windows (see the
+// disaster-monitoring example and §II-A of the paper).
+type ContactWindow struct {
+	// StartSlot and EndSlot delimit the window, inclusive.
+	StartSlot int
+	EndSlot   int
+	// MaxVisible is the largest number of simultaneously visible
+	// satellites during the window.
+	MaxVisible int
+}
+
+// Slots returns the window length in slots.
+func (w ContactWindow) Slots() int { return w.EndSlot - w.StartSlot + 1 }
+
+// ContactWindows scans the horizon and returns the endpoint's contact
+// windows in chronological order.
+func (p *Provider) ContactWindows(e Endpoint) ([]ContactWindow, error) {
+	var windows []ContactWindow
+	open := false
+	var cur ContactWindow
+	for slot := 0; slot < p.cfg.Horizon; slot++ {
+		vis, err := p.VisibleSats(e, slot)
+		if err != nil {
+			return nil, fmt.Errorf("topology: contact windows: %w", err)
+		}
+		if len(vis) > 0 {
+			if !open {
+				open = true
+				cur = ContactWindow{StartSlot: slot, EndSlot: slot, MaxVisible: len(vis)}
+			} else {
+				cur.EndSlot = slot
+				if len(vis) > cur.MaxVisible {
+					cur.MaxVisible = len(vis)
+				}
+			}
+		} else if open {
+			windows = append(windows, cur)
+			open = false
+		}
+	}
+	if open {
+		windows = append(windows, cur)
+	}
+	return windows, nil
+}
+
+// CoverageFraction returns the fraction of the horizon during which the
+// endpoint has at least one satellite in view.
+func (p *Provider) CoverageFraction(e Endpoint) (float64, error) {
+	windows, err := p.ContactWindows(e)
+	if err != nil {
+		return 0, err
+	}
+	covered := 0
+	for _, w := range windows {
+		covered += w.Slots()
+	}
+	return float64(covered) / float64(p.cfg.Horizon), nil
+}

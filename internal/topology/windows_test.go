@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"testing"
+
+	"spacebooking/internal/grid"
+	"spacebooking/internal/orbit"
+)
+
+func TestContactWindowsStructure(t *testing.T) {
+	sites := []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0}, // covered intermittently
+		{ID: 1, LatDeg: 89.0, LonDeg: 0},     // never covered by a 53° shell
+	}
+	p := newSmallProvider(t, sites, nil)
+
+	windows, err := p.ContactWindows(Endpoint{Kind: EndpointGround, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows must be chronological, non-overlapping, and match the raw
+	// visibility predicate exactly.
+	inWindow := make([]bool, p.Horizon())
+	lastEnd := -1
+	for _, w := range windows {
+		if w.StartSlot <= lastEnd {
+			t.Fatalf("window %+v overlaps or is out of order (lastEnd %d)", w, lastEnd)
+		}
+		if w.EndSlot < w.StartSlot || w.EndSlot >= p.Horizon() {
+			t.Fatalf("window %+v out of range", w)
+		}
+		if w.Slots() != w.EndSlot-w.StartSlot+1 {
+			t.Fatalf("Slots() inconsistent for %+v", w)
+		}
+		if w.MaxVisible < 1 {
+			t.Fatalf("window %+v has no visible satellites", w)
+		}
+		for s := w.StartSlot; s <= w.EndSlot; s++ {
+			inWindow[s] = true
+		}
+		lastEnd = w.EndSlot
+	}
+	for slot := 0; slot < p.Horizon(); slot++ {
+		vis, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: 0}, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(vis) > 0) != inWindow[slot] {
+			t.Fatalf("slot %d: visibility %v but window coverage %v", slot, len(vis) > 0, inWindow[slot])
+		}
+	}
+
+	// The polar site has no windows at all.
+	polar, err := p.ContactWindows(Endpoint{Kind: EndpointGround, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(polar) != 0 {
+		t.Errorf("polar site has %d windows, want 0", len(polar))
+	}
+}
+
+func TestContactWindowsErrors(t *testing.T) {
+	p := newSmallProvider(t, nil, nil)
+	if _, err := p.ContactWindows(Endpoint{Kind: EndpointGround, Index: 0}); err == nil {
+		t.Error("expected error with no registered sites")
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	sites := []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},
+		{ID: 1, LatDeg: 89.0, LonDeg: 0},
+	}
+	p := newSmallProvider(t, sites, nil)
+	ny, err := p.CoverageFraction(Endpoint{Kind: EndpointGround, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ny <= 0 || ny > 1 {
+		t.Errorf("NY coverage = %v", ny)
+	}
+	pole, err := p.CoverageFraction(Endpoint{Kind: EndpointGround, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pole != 0 {
+		t.Errorf("polar coverage = %v, want 0", pole)
+	}
+}
+
+func TestContactWindowsEO(t *testing.T) {
+	eo, err := orbit.SyntheticEOFleet(orbit.EOFleetConfig{
+		Count: 3, MinAltitudeKm: 475, MaxAltitudeKm: 525, Seed: 2, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newSmallProvider(t, nil, eo)
+	totalWindows := 0
+	for i := range eo {
+		ws, err := p.ContactWindows(Endpoint{Kind: EndpointSpace, Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalWindows += len(ws)
+		frac, err := p.CoverageFraction(Endpoint{Kind: EndpointSpace, Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac < 0 || frac > 1 {
+			t.Fatalf("EO %d coverage %v", i, frac)
+		}
+	}
+	if totalWindows == 0 {
+		t.Skip("no EO contact in this short horizon")
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace provides a structured event log for simulation runs:
+// one JSON line per admission decision plus periodic network snapshots.
+// Operators (and the repository's own debugging sessions) use it to
+// answer questions the aggregate metrics cannot — "which pair's requests
+// were priced out around minute 200?", "which satellites carried that
+// burst?".
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind labels a trace record.
+type EventKind string
+
+// Record kinds.
+const (
+	// KindDecision records one request's admission outcome.
+	KindDecision EventKind = "decision"
+	// KindSnapshot records periodic network health.
+	KindSnapshot EventKind = "snapshot"
+	// KindRunInfo records run metadata (first line of every trace).
+	KindRunInfo EventKind = "run_info"
+)
+
+// Record is one trace line. Fields are a union across kinds; unused
+// fields are omitted from the JSON.
+type Record struct {
+	Kind EventKind `json:"kind"`
+
+	// Run metadata (KindRunInfo).
+	Algorithm string  `json:"algorithm,omitempty"`
+	Scale     string  `json:"scale,omitempty"`
+	Rate      float64 `json:"rate,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+
+	// Decision fields (KindDecision).
+	RequestID int     `json:"request_id,omitempty"`
+	Arrival   int     `json:"arrival_slot,omitempty"`
+	Start     int     `json:"start_slot,omitempty"`
+	End       int     `json:"end_slot,omitempty"`
+	RateMbps  float64 `json:"rate_mbps,omitempty"`
+	Valuation float64 `json:"valuation,omitempty"`
+	Accepted  bool    `json:"accepted"`
+	Price     float64 `json:"price,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+	TotalHops int     `json:"total_hops,omitempty"`
+
+	// Snapshot fields (KindSnapshot).
+	Slot      int `json:"slot,omitempty"`
+	Depleted  int `json:"depleted,omitempty"`
+	Congested int `json:"congested,omitempty"`
+}
+
+// Writer emits trace records as JSON lines. It is safe for sequential
+// use within one run; a mutex guards against accidental sharing.
+type Writer struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	err error
+}
+
+// NewWriter wraps an io.Writer (file, pipe, buffer).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{buf: bufio.NewWriter(w)}
+}
+
+// Emit writes one record. After the first error all writes are no-ops;
+// the error resurfaces from Flush.
+func (w *Writer) Emit(r Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		w.err = fmt.Errorf("trace: marshal: %w", err)
+		return
+	}
+	if _, err := w.buf.Write(data); err != nil {
+		w.err = fmt.Errorf("trace: write: %w", err)
+		return
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
+		w.err = fmt.Errorf("trace: write: %w", err)
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.buf.Flush()
+}
+
+// Read parses a trace stream back into records, e.g. for analysis
+// tooling and the package's own tests.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a decision trace for quick inspection.
+type Summary struct {
+	Total     int
+	Accepted  int
+	Rejected  int
+	Revenue   float64
+	ByReason  map[string]int
+	Snapshots int
+}
+
+// Summarize folds a record stream into counts.
+func Summarize(records []Record) Summary {
+	s := Summary{ByReason: make(map[string]int)}
+	for _, r := range records {
+		switch r.Kind {
+		case KindDecision:
+			s.Total++
+			if r.Accepted {
+				s.Accepted++
+				s.Revenue += r.Price
+			} else {
+				s.Rejected++
+				s.ByReason[r.Reason]++
+			}
+		case KindSnapshot:
+			s.Snapshots++
+		}
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Record{Kind: KindRunInfo, Algorithm: "CEAR", Scale: "small", Rate: 2, Seed: 101})
+	w.Emit(Record{Kind: KindDecision, RequestID: 1, Arrival: 5, Start: 5, End: 9,
+		RateMbps: 1250, Valuation: 1e8, Accepted: true, Price: 42.5, TotalHops: 12})
+	w.Emit(Record{Kind: KindDecision, RequestID: 2, Accepted: false, Reason: "no feasible path at slot 6"})
+	w.Emit(Record{Kind: KindSnapshot, Slot: 10, Depleted: 3, Congested: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0].Kind != KindRunInfo || records[0].Algorithm != "CEAR" {
+		t.Errorf("run info = %+v", records[0])
+	}
+	if records[1].Price != 42.5 || !records[1].Accepted || records[1].TotalHops != 12 {
+		t.Errorf("decision = %+v", records[1])
+	}
+	if records[2].Accepted || records[2].Reason == "" {
+		t.Errorf("rejection = %+v", records[2])
+	}
+	if records[3].Depleted != 3 {
+		t.Errorf("snapshot = %+v", records[3])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	records, err := Read(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Errorf("blank lines produced %d records", len(records))
+	}
+}
+
+func TestWriterErrorSticks(t *testing.T) {
+	w := NewWriter(failWriter{})
+	for i := 0; i < 100; i++ {
+		w.Emit(Record{Kind: KindDecision, RequestID: i})
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("expected sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestSummarize(t *testing.T) {
+	records := []Record{
+		{Kind: KindRunInfo},
+		{Kind: KindDecision, Accepted: true, Price: 10},
+		{Kind: KindDecision, Accepted: true, Price: 5},
+		{Kind: KindDecision, Accepted: false, Reason: "no-path"},
+		{Kind: KindDecision, Accepted: false, Reason: "no-path"},
+		{Kind: KindDecision, Accepted: false, Reason: "priced-out"},
+		{Kind: KindSnapshot, Slot: 1},
+	}
+	s := Summarize(records)
+	if s.Total != 5 || s.Accepted != 2 || s.Rejected != 3 {
+		t.Errorf("summary counts = %+v", s)
+	}
+	if s.Revenue != 15 {
+		t.Errorf("revenue = %v", s.Revenue)
+	}
+	if s.ByReason["no-path"] != 2 || s.ByReason["priced-out"] != 1 {
+		t.Errorf("by reason = %v", s.ByReason)
+	}
+	if s.Snapshots != 1 {
+		t.Errorf("snapshots = %d", s.Snapshots)
+	}
+}

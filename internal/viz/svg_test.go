@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProject(t *testing.T) {
+	tests := []struct {
+		lat, lon float64
+		wantX    float64
+		wantY    float64
+	}{
+		{0, 0, 360, 180},
+		{90, -180, 0, 0},
+		{-90, 180, 720, 360},
+		{45, -90, 180, 90},
+	}
+	for _, tt := range tests {
+		x, y := project(tt.lat, tt.lon)
+		if x != tt.wantX || y != tt.wantY {
+			t.Errorf("project(%v,%v) = (%v,%v), want (%v,%v)", tt.lat, tt.lon, x, y, tt.wantX, tt.wantY)
+		}
+	}
+}
+
+func TestRenderStructure(t *testing.T) {
+	m := NewMap("test scene")
+	m.AddSite(40.7, -74.0, "#00ff00")
+	m.AddSatellite(10, 20, true, "#ffcc00")
+	m.AddSatellite(-10, -20, false, "#ffcc00")
+	m.AddLink(0, 0, 10, 10, "#ff0000", 1)
+	m.AddLabel(40.7, -74.0, "NYC", "#ffffff")
+	if m.NumElements() != 5 {
+		t.Fatalf("elements = %d", m.NumElements())
+	}
+
+	out := m.Render([]Legend{{Color: "#ffcc00", Text: "satellite"}})
+	for _, want := range []string{
+		"<svg", "</svg>", "<rect", "<circle", "<line", "NYC", "test scene", "satellite",
+		"#444466", // eclipsed satellite darkening
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Valid-ish XML: balanced svg tags, no unescaped ampersands.
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	m := NewMap(`a<b>&"c"`)
+	m.AddLabel(0, 0, "x<y&z", "#fff")
+	out := m.Render(nil)
+	if strings.Contains(out, "x<y") || strings.Contains(out, `a<b>`) {
+		t.Error("unescaped XML specials in output")
+	}
+	if !strings.Contains(out, "x&lt;y&amp;z") {
+		t.Error("expected escaped label")
+	}
+}
+
+func TestAntimeridianSplit(t *testing.T) {
+	m := NewMap("")
+	m.AddLink(10, 170, 12, -170, "#fff", 1) // crosses the date line
+	if m.NumElements() != 2 {
+		t.Fatalf("crossing link rendered as %d segments, want 2", m.NumElements())
+	}
+	m2 := NewMap("")
+	m2.AddLink(10, 20, 12, 40, "#fff", 1)
+	if m2.NumElements() != 1 {
+		t.Fatalf("normal link rendered as %d segments", m2.NumElements())
+	}
+	// A segment crossing the other way.
+	m3 := NewMap("")
+	m3.AddLink(0, -175, 0, 175, "#fff", 1)
+	if m3.NumElements() != 2 {
+		t.Fatalf("westward crossing rendered as %d segments", m3.NumElements())
+	}
+}
+
+func TestHeatRamp(t *testing.T) {
+	cold := HeatRamp(0)
+	hot := HeatRamp(1)
+	if cold == hot {
+		t.Error("ramp endpoints identical")
+	}
+	if HeatRamp(-5) != cold || HeatRamp(5) != hot {
+		t.Error("ramp does not clamp")
+	}
+	if !strings.HasPrefix(cold, "#") || len(cold) != 7 {
+		t.Errorf("bad colour format %q", cold)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Errorf("keys = %v", keys)
+	}
+}
