@@ -1,0 +1,24 @@
+# Development targets. `make check` is the pre-PR gate: vet, build,
+# race-enabled unit tests, and a one-iteration benchmark smoke pass.
+
+GO ?= go
+
+.PHONY: check build test vet race bench-smoke
+
+check: vet build race bench-smoke
+	@echo "check: all gates passed"
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

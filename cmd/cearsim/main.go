@@ -7,18 +7,19 @@
 //	cearsim [-scale small|medium|full]
 //	        [-alg CEAR|SSP|ECARS|ERU|ERA|CEAR-NE|CEAR-AA|CEAR-LIN|CEAR-AD]
 //	        [-rate R] [-seed N] [-valuation V] [-f1 F] [-f2 F]
-//	        [-trace decisions.jsonl]
+//	        [-trace decisions.jsonl] [-report run.json]
+//	        [-debug-addr 127.0.0.1:6060]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"spacebooking"
 	"spacebooking/internal/metrics"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/trace"
@@ -27,19 +28,6 @@ import (
 
 func main() {
 	os.Exit(run())
-}
-
-func parseAlg(name string) (sim.AlgorithmKind, error) {
-	algs := map[string]sim.AlgorithmKind{
-		"CEAR": sim.AlgCEAR, "SSP": sim.AlgSSP, "ECARS": sim.AlgECARS,
-		"ERU": sim.AlgERU, "ERA": sim.AlgERA,
-		"CEAR-NE": sim.AlgCEARNoEnergy, "CEAR-AA": sim.AlgCEARNoAdmission,
-		"CEAR-LIN": sim.AlgCEARLinear, "CEAR-AD": sim.AlgCEARAdaptive,
-	}
-	if k, ok := algs[strings.ToUpper(name)]; ok {
-		return k, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func run() int {
@@ -51,6 +39,8 @@ func run() int {
 	f1 := flag.Float64("f1", 1, "bandwidth conservativeness parameter F1")
 	f2 := flag.Float64("f2", 1, "energy conservativeness parameter F2")
 	traceFile := flag.String("trace", "", "write a JSON-lines decision trace to this file")
+	reportFile := flag.String("report", "", "write a machine-readable JSON run report to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics.json on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	scale, err := spacebooking.ParseScale(*scaleName)
@@ -58,10 +48,26 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	alg, err := parseAlg(*algName)
+	alg, err := sim.ParseAlgorithm(*algName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	// Instrumentation is opt-in: the registry exists only when a flag
+	// asks for its output, so plain runs keep the no-op fast path.
+	var reg *obs.Registry
+	if *reportFile != "" || *debugAddr != "" {
+		reg = obs.New()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/ (pprof, metrics.json)\n", srv.Addr())
 	}
 
 	start := time.Now()
@@ -70,6 +76,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	env.Obs = reg
 	if *rate == 0 {
 		*rate = env.DefaultArrivalRate()
 	}
@@ -89,20 +96,27 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	var tw *trace.Writer
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer f.Close()
-		rc.Trace = trace.NewWriter(f)
+		tw = trace.NewWriter(f)
+		rc.Trace = tw
 	}
 
 	res, err := env.Run(rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 
 	// Diagnostic: how far this workload strays from §V's assumptions.
@@ -138,7 +152,50 @@ func run() int {
 	fmt.Printf("congested links over time:\n%s\n", metrics.Sparkline(res.CongestedPerSlot, 96))
 	fmt.Printf("cumulative welfare ratio over time:\n%s\n", metrics.SparklineFloat(res.CumulativeWelfareRatio, 96))
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *reportFile != "" {
+		rep := buildReport(scale, env, rc, res, *rate, *seed, *valuation, *f1, *f2, reg)
+		if err := obs.WriteReportFile(*reportFile, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", *reportFile)
+	}
 	return 0
+}
+
+// buildReport assembles the machine-readable run report: the effective
+// configuration, the §VI-A result metrics, and the instrumentation
+// snapshot.
+func buildReport(scale spacebooking.Scale, env *spacebooking.Environment, rc sim.RunConfig,
+	res *sim.Result, rate float64, seed int64, valuation, f1, f2 float64, reg *obs.Registry) *obs.Report {
+	rep := obs.NewReport("cearsim")
+	rep.SetConfig("scale", scale.String())
+	rep.SetConfig("algorithm", res.Algorithm)
+	rep.SetConfig("rate_per_min", rate)
+	rep.SetConfig("seed", seed)
+	rep.SetConfig("valuation", valuation)
+	rep.SetConfig("f1", f1)
+	rep.SetConfig("f2", f2)
+	rep.SetConfig("satellites", env.Provider.NumSats())
+	rep.SetConfig("horizon_min", env.Provider.Horizon())
+	rep.SetConfig("max_hops", rc.MaxHops)
+
+	rep.SetMetric("requests_total", float64(res.TotalRequests))
+	rep.SetMetric("requests_accepted", float64(res.Accepted))
+	rep.SetMetric("welfare_ratio", res.WelfareRatio)
+	rep.SetMetric("revenue", res.Revenue)
+	rep.SetMetric("avg_accepted_hops", res.AvgAcceptedHops)
+	rep.SetMetric("avg_accepted_latency_ms", res.AvgAcceptedLatencyMs)
+	rep.SetMetric("mean_depleted_sats", res.MeanDepleted())
+	rep.SetMetric("peak_depleted_sats", float64(maxInt(res.DepletedPerSlot)))
+	rep.SetMetric("mean_congested_links", res.MeanCongested())
+	rep.SetMetric("peak_congested_links", float64(maxInt(res.CongestedPerSlot)))
+	for reason, n := range res.Rejections {
+		rep.SetMetric("rejected."+reason, float64(n))
+	}
+	rep.Finish(reg)
+	return rep
 }
 
 func maxInt(xs []int) int {

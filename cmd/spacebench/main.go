@@ -23,6 +23,7 @@ import (
 
 	"spacebooking"
 	"spacebooking/internal/metrics"
+	"spacebooking/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func run() int {
 	numSeeds := flag.Int("seeds", len(spacebooking.DefaultSeeds), "number of seeds for the Fig. 6 error bars (1-5)")
 	csvDir := flag.String("csv", "", "directory for per-figure CSV exports (optional)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	reportFile := flag.String("report", "", "write a machine-readable JSON run report to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics.json on this address (e.g. 127.0.0.1:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spacebench [flags] <fig6|fig7|fig8|fig9|ablate|adaptive|competitive|all>\n")
 		flag.PrintDefaults()
@@ -52,6 +55,22 @@ func run() int {
 		return 1
 	}
 
+	// Instrumentation is opt-in: the registry exists only when a flag
+	// asks for its output, so plain runs keep the no-op fast path.
+	var reg *obs.Registry
+	if *reportFile != "" || *debugAddr != "" {
+		reg = obs.New()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/ (pprof, metrics.json)\n", srv.Addr())
+	}
+
 	start := time.Now()
 	fmt.Printf("building %s-scale environment...\n", scale)
 	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: scale})
@@ -59,6 +78,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	env.Obs = reg
 	if !*quiet {
 		env.Logf = func(format string, args ...interface{}) {
 			fmt.Printf("  "+format+"\n", args...)
@@ -99,7 +119,7 @@ func run() int {
 			}
 		}
 		fmt.Printf("\nall figures reproduced in %v\n", time.Since(start).Round(time.Second))
-		return 0
+		return writeReport(*reportFile, figure, scale, opts, time.Since(start), reg)
 	}
 	runner, ok := runners[figure]
 	if !ok {
@@ -110,6 +130,28 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	return writeReport(*reportFile, figure, scale, opts, time.Since(start), reg)
+}
+
+// writeReport emits the machine-readable run report when -report is set:
+// the effective configuration, wall time, and the full instrumentation
+// snapshot accumulated across every run the figure performed.
+func writeReport(path, figure string, scale spacebooking.Scale, opts runOpts, elapsed time.Duration, reg *obs.Registry) int {
+	if path == "" {
+		return 0
+	}
+	rep := obs.NewReport("spacebench")
+	rep.SetConfig("figure", figure)
+	rep.SetConfig("scale", scale.String())
+	rep.SetConfig("seed", opts.seed)
+	rep.SetConfig("num_seeds", len(opts.seeds))
+	rep.SetMetric("elapsed_seconds", elapsed.Seconds())
+	rep.Finish(reg)
+	if err := obs.WriteReportFile(path, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("report written to %s\n", path)
 	return 0
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"spacebooking/internal/core"
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
 	"spacebooking/internal/router"
 	"spacebooking/internal/workload"
@@ -103,6 +104,8 @@ type Config struct {
 	MaxHops int
 	// Predictor is optional; nil disables the AoP term.
 	Predictor Predictor
+	// Obs is forwarded to the inner CEAR (nil disables instrumentation).
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a reasonable controller setup for the paper's
@@ -201,7 +204,7 @@ func (c *Controller) rebuild() error {
 	if err != nil {
 		return err
 	}
-	inner, err := core.New(c.state, core.Options{Pricing: params, MaxHops: c.cfg.MaxHops})
+	inner, err := core.New(c.state, core.Options{Pricing: params, MaxHops: c.cfg.MaxHops, Obs: c.cfg.Obs})
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 
 	"spacebooking/internal/graph"
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
 	"spacebooking/internal/router"
 	"spacebooking/internal/workload"
@@ -40,6 +41,11 @@ type Options struct {
 	// LinearPricing replaces the exponential price μ^λ − 1 with the
 	// linear (μ−1)·λ (ablation "CEAR-LIN").
 	LinearPricing bool
+
+	// Obs, when non-nil, attaches admission counters and histograms
+	// (evaluations, accept/reject, slot searches, price lookups) to the
+	// registry. Nil leaves the instrumentation on its no-op fast path.
+	Obs *obs.Registry
 }
 
 // CEAR is the online pricing and reservation algorithm. It owns a
@@ -56,6 +62,13 @@ type CEAR struct {
 	cacheVals  []float64
 	cacheEpoch []uint32
 	epoch      uint32
+
+	// Observability handles; all nil (no-op) without Options.Obs.
+	ctrEvaluations *obs.Counter
+	ctrAccepted    *obs.Counter
+	ctrRejected    *obs.Counter
+	ctrSlotSearch  *obs.Counter
+	histPlanPrice  *obs.Histogram
 }
 
 var _ router.Algorithm = (*CEAR)(nil)
@@ -74,13 +87,34 @@ func New(state *netstate.State, opts Options) (*CEAR, error) {
 		return nil, fmt.Errorf("core: negative max hops %d", opts.MaxHops)
 	}
 	slots := state.Provider().NumSats() * 16
-	return &CEAR{
+	c := &CEAR{
 		state:      state,
 		opts:       opts,
 		fast:       opts.Pricing.Fast(),
 		cacheVals:  make([]float64, slots),
 		cacheEpoch: make([]uint32, slots),
-	}, nil
+	}
+	if reg := opts.Obs; reg != nil {
+		c.ctrEvaluations = reg.Counter("core.admission.evaluations")
+		c.ctrAccepted = reg.Counter("core.admission.accepted")
+		c.ctrRejected = reg.Counter("core.admission.rejected")
+		c.ctrSlotSearch = reg.Counter("core.slot_searches")
+		c.histPlanPrice = reg.Histogram("core.plan_price", PriceBuckets())
+		c.fast.Instrument(reg.Counter("pricing.lut_lookups"))
+		state.SetObs(reg)
+	}
+	return c, nil
+}
+
+// PriceBuckets returns histogram boundaries for plan prices: decade
+// steps from 1e-3 to 1e12, spanning idle-network epsilon prices through
+// the paper's 2.3e9 valuations.
+func PriceBuckets() []float64 {
+	out := make([]float64, 0, 16)
+	for e := -3; e <= 12; e++ {
+		out = append(out, math.Pow(10, float64(e)))
+	}
+	return out
 }
 
 // Name implements router.Algorithm.
@@ -151,6 +185,7 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 	if err := req.Validate(c.state.Provider().Horizon()); err != nil {
 		return router.Decision{}, fmt.Errorf("core: %w", err)
 	}
+	c.ctrEvaluations.Inc()
 
 	slotSec := c.state.Provider().Config().SlotSeconds
 	energyCfg := c.state.EnergyConfig()
@@ -201,6 +236,7 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 			return v
 		}
 
+		c.ctrSlotSearch.Inc()
 		var path graph.Path
 		var ok bool
 		if c.opts.MaxHops > 0 {
@@ -210,6 +246,7 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 		}
 		if !ok {
 			txn.Rollback()
+			c.ctrRejected.Inc()
 			return router.Decision{
 				Reason: fmt.Sprintf("no feasible path at slot %d", slot),
 			}, nil
@@ -225,6 +262,7 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 		consumptions := view.PathConsumptions(path)
 		if err := c.state.TrialConsume(consumptions); err != nil {
 			txn.Rollback()
+			c.ctrRejected.Inc()
 			return router.Decision{
 				Reason: fmt.Sprintf("energy infeasible at slot %d: %v", slot, err),
 			}, nil
@@ -244,8 +282,10 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 	}
 
 	// Line 6: admission control — compare the plan price with ρ_i.
+	c.histPlanPrice.Observe(totalPrice)
 	if !c.opts.DisableAdmission && totalPrice > req.Valuation {
 		txn.Rollback()
+		c.ctrRejected.Inc()
 		return router.Decision{
 			Price:  totalPrice,
 			Reason: fmt.Sprintf("plan price %.3g exceeds valuation %.3g", totalPrice, req.Valuation),
@@ -254,6 +294,7 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 	}
 
 	txn.Commit()
+	c.ctrAccepted.Inc()
 	return router.Decision{
 		Accepted: true,
 		Price:    totalPrice,

@@ -113,6 +113,7 @@ func (b *Battery) SolarRemainingAt(t int) float64 {
 // second term sums price(t)·Ω̄(ta,t) over the deficit's lifetime) and
 // feasibility checks.
 func (b *Battery) VisitDeficit(ta int, joules float64, fn func(t int, outstanding float64) bool) {
+	countDeficitWalk()
 	if joules <= 0 || ta < 0 || ta >= len(b.deficit) {
 		return
 	}
@@ -192,6 +193,7 @@ func (b *Battery) Consume(ta int, joules float64) error {
 		return &DepletionError{Slot: failSlot, DeficitJ: failDeficit, CapacityJ: b.capacityJ}
 	}
 
+	countConsume()
 	remaining := joules
 	for t := ta; t < len(b.deficit); t++ {
 		absorb := math.Min(remaining, b.solarRemaining[t])

@@ -1,0 +1,41 @@
+package energy
+
+import (
+	"sync/atomic"
+
+	"spacebooking/internal/obs"
+)
+
+// Instruments holds the package's observability counters. Batteries are
+// constructed (and cloned) per satellite by netstate, so instruments
+// attach at package level — sim wires them when a run carries a
+// registry — and count across every ledger.
+type Instruments struct {
+	// DeficitWalks counts VisitDeficit invocations — the primitive
+	// behind CEAR's deficit pricing and every feasibility check.
+	DeficitWalks *obs.Counter
+	// Consumptions counts committed Consume calls across all batteries.
+	Consumptions *obs.Counter
+}
+
+// instruments is read with one atomic load per call site.
+var instruments atomic.Pointer[Instruments]
+
+// SetInstruments attaches (or with nil, detaches) the package counters.
+// Safe to call concurrently with ledger operations.
+func SetInstruments(in *Instruments) { instruments.Store(in) }
+
+// countDeficitWalk counts one VisitDeficit call; a single branch when
+// instruments are detached.
+func countDeficitWalk() {
+	if in := instruments.Load(); in != nil {
+		in.DeficitWalks.Inc()
+	}
+}
+
+// countConsume counts one committed consumption.
+func countConsume() {
+	if in := instruments.Load(); in != nil {
+		in.Consumptions.Inc()
+	}
+}

@@ -51,6 +51,8 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
+	in := instruments.Load()
+	var pops int64
 
 	// State encoding: node*numClasses + int(inClass).
 	numStates := n * numClasses
@@ -69,6 +71,7 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 
 	for len(pq) > 0 {
 		cur := heap.Pop(&pq).(item)
+		pops++
 		if cur.dist > dist[cur.state] {
 			continue // stale entry
 		}
@@ -77,10 +80,12 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 		if node == dst {
 			// First settle of the destination is optimal over all
 			// incoming classes (dst pays no transit).
+			in.searchDone(pops)
 			return reconstruct(prev, cur.state, cur.dist), true
 		}
 
 		g.VisitNeighbors(node, func(e Edge) bool {
+			in.relax()
 			w := e.Cost
 			if math.IsInf(w, 1) {
 				return true
@@ -101,6 +106,7 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 			return true
 		})
 	}
+	in.searchDone(pops)
 	return Path{}, false
 }
 
@@ -147,6 +153,7 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
+	in := instruments.Load()
 
 	numStates := n * numClasses
 	const inf = math.MaxFloat64
@@ -186,6 +193,7 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 					continue
 				}
 				g.VisitNeighbors(node, func(e Edge) bool {
+					in.relax()
 					w := e.Cost
 					if math.IsInf(w, 1) {
 						return true

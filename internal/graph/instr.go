@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"spacebooking/internal/obs"
+)
+
+// Instruments holds the package's observability counters. The search
+// functions are package-level (no receiver to hang a registry on) and
+// sit at the bottom of every admission decision, so instruments attach
+// globally: sim wires them when a run carries a registry, and they
+// count across all callers (CEAR, baselines, Yen) until replaced.
+type Instruments struct {
+	// HeapPops counts priority-queue pops in Dijkstra searches.
+	HeapPops *obs.Counter
+	// EdgeRelaxations counts edges examined across all searches
+	// (Dijkstra and the hop-limited DP).
+	EdgeRelaxations *obs.Counter
+	// YenSpurIterations counts spur-node iterations in KShortestPaths.
+	YenSpurIterations *obs.Counter
+}
+
+// instruments is read per search call (one atomic load), never per pop.
+var instruments atomic.Pointer[Instruments]
+
+// SetInstruments attaches (or with nil, detaches) the package counters.
+// Safe to call concurrently with running searches: in-flight searches
+// finish counting into whichever instruments they loaded at entry.
+func SetInstruments(in *Instruments) { instruments.Store(in) }
+
+// searchDone flushes one search's locally accumulated pop count.
+// Searches tally pops into a stack int and flush once per call, so the
+// enabled path costs one atomic add per search rather than one per pop.
+func (in *Instruments) searchDone(pops int64) {
+	if in == nil {
+		return
+	}
+	in.HeapPops.Add(pops)
+}
+
+// relax counts one examined edge. Called inside the neighbor-visit
+// closures, which capture `in` read-only — a by-value capture, so the
+// disabled path stays a single branch with no added allocation.
+func (in *Instruments) relax() {
+	if in == nil {
+		return
+	}
+	in.EdgeRelaxations.Inc()
+}
+
+// spurDone flushes one KShortestPaths call's spur-iteration count.
+func (in *Instruments) spurDone(spurs int64) {
+	if in == nil {
+		return
+	}
+	in.YenSpurIterations.Add(spurs)
+}

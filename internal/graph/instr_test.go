@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"testing"
+
+	"spacebooking/internal/obs"
+)
+
+// lineGraph builds 0 -> 1 -> ... -> n-1 with unit ISL edges.
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(i, i+1, ClassISL, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSearchInstruments(t *testing.T) {
+	defer SetInstruments(nil)
+	reg := obs.New()
+	pops := reg.Counter("graph.dijkstra.heap_pops")
+	relax := reg.Counter("graph.dijkstra.edge_relaxations")
+	spurs := reg.Counter("graph.yen.spur_iterations")
+	SetInstruments(&Instruments{HeapPops: pops, EdgeRelaxations: relax, YenSpurIterations: spurs})
+
+	g := lineGraph(t, 6)
+	if _, ok := g.ShortestPath(0, 5, nil); !ok {
+		t.Fatal("path not found")
+	}
+	if pops.Value() == 0 || relax.Value() == 0 {
+		t.Fatalf("dijkstra counters not advanced: pops=%d relax=%d", pops.Value(), relax.Value())
+	}
+
+	before := relax.Value()
+	if _, ok := g.ShortestPathHopLimited(0, 5, 8, nil); !ok {
+		t.Fatal("hop-limited path not found")
+	}
+	if relax.Value() <= before {
+		t.Fatal("hop-limited search did not count relaxations")
+	}
+
+	if got := g.KShortestPaths(0, 5, 2, nil); len(got) == 0 {
+		t.Fatal("yen found no paths")
+	}
+	if spurs.Value() == 0 {
+		t.Fatal("yen spur counter not advanced")
+	}
+}
+
+// TestInstrumentedSearchAllocParity verifies the acceptance criterion
+// that instrumentation adds no allocations to the search hot path: the
+// per-search allocation count is identical with instruments detached
+// (the nil fast path) and attached.
+func TestInstrumentedSearchAllocParity(t *testing.T) {
+	defer SetInstruments(nil)
+	g := lineGraph(t, 16)
+	search := func() {
+		if _, ok := g.ShortestPath(0, 15, nil); !ok {
+			t.Fatal("path not found")
+		}
+	}
+
+	SetInstruments(nil)
+	detached := testing.AllocsPerRun(200, search)
+	reg := obs.New()
+	SetInstruments(&Instruments{
+		HeapPops:          reg.Counter("pops"),
+		EdgeRelaxations:   reg.Counter("relax"),
+		YenSpurIterations: reg.Counter("spurs"),
+	})
+	attached := testing.AllocsPerRun(200, search)
+
+	if detached != attached {
+		t.Fatalf("allocs per search: detached=%v attached=%v, want identical", detached, attached)
+	}
+}

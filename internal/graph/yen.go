@@ -22,12 +22,14 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 	}
 	paths := []Path{first}
 	var candidates []Path
+	var spurs int64
 
 	for len(paths) < k {
 		lastPath := paths[len(paths)-1]
 		// For each node in the last accepted path except the final one,
 		// consider it a spur node.
 		for spurIdx := 0; spurIdx < len(lastPath.Nodes)-1; spurIdx++ {
+			spurs++
 			spurNode := lastPath.Nodes[spurIdx]
 			rootNodes := lastPath.Nodes[:spurIdx+1]
 			rootEdges := lastPath.Edges[:spurIdx]
@@ -63,6 +65,7 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}
+	instruments.Load().spurDone(spurs)
 	return paths
 }
 

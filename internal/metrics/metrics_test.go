@@ -53,6 +53,33 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantileSingleElement(t *testing.T) {
+	xs := []float64{7}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := Quantile(xs, q); got != 7 {
+			t.Errorf("Quantile(single, %v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestQuantileExactlyOnSamplePoint(t *testing.T) {
+	// With 5 elements, q = k/4 lands exactly on sorted[k]: the
+	// interpolation fraction is zero and the sample itself must come
+	// back, not a blend with its neighbour.
+	xs := []float64{50, 10, 40, 20, 30} // sorted: 10 20 30 40 50
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want exactly %v", tt.q, got, tt.want)
+		}
+	}
+}
+
 func TestSeries(t *testing.T) {
 	s := Series{Name: "x", Values: []float64{1, 2, 3, 4, 5, 6, 7}}
 	d := s.Downsample(3)

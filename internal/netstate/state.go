@@ -15,6 +15,7 @@ import (
 
 	"spacebooking/internal/energy"
 	"spacebooking/internal/graph"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/topology"
 )
 
@@ -121,6 +122,31 @@ type State struct {
 	energyCfg EnergyConfig
 	links     map[LinkKey]*linkLedger
 	batteries []*energy.Battery
+	instr     stateInstruments
+}
+
+// stateInstruments caches the state's observability handles. All nil
+// (no-op) until SetObs attaches a registry.
+type stateInstruments struct {
+	txnCommits    *obs.Counter
+	txnRollbacks  *obs.Counter
+	linkReserves  *obs.Counter
+	trialConsumes *obs.Counter
+}
+
+// SetObs attaches observability counters from the registry (nil is a
+// no-op). Call before the run starts; the State is single-owner, so the
+// handles are plain fields.
+func (s *State) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.instr = stateInstruments{
+		txnCommits:    reg.Counter("netstate.txn.commits"),
+		txnRollbacks:  reg.Counter("netstate.txn.rollbacks"),
+		linkReserves:  reg.Counter("netstate.link.reservations"),
+		trialConsumes: reg.Counter("netstate.trial_consumes"),
+	}
 }
 
 // New builds the resource state: empty link ledgers and one battery per
@@ -215,6 +241,7 @@ func (s *State) ReserveLink(key LinkKey, slot int, rateMbps float64) error {
 			key.From(), key.To(), slot, l.used[slot], rateMbps, cap)
 	}
 	l.used[slot] += rateMbps
+	s.instr.linkReserves.Inc()
 	return nil
 }
 
@@ -265,6 +292,7 @@ type Consumption struct {
 // committing: a path can transit the same satellite in two roles whose
 // draws are individually feasible but jointly not (constraint (7c)).
 func (s *State) TrialConsume(consumptions []Consumption) error {
+	s.instr.trialConsumes.Inc()
 	bySat := make(map[int][]Consumption)
 	for _, c := range consumptions {
 		bySat[c.Sat] = append(bySat[c.Sat], c)

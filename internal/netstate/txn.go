@@ -78,6 +78,7 @@ func (t *Txn) Rollback() {
 		return
 	}
 	t.done = true
+	t.state.instr.txnRollbacks.Inc()
 	for _, r := range t.linkUndo {
 		t.state.unreserveLink(r.key, r.slot, r.rate)
 	}
@@ -88,6 +89,9 @@ func (t *Txn) Rollback() {
 
 // Commit finalises the transaction, dropping the undo log.
 func (t *Txn) Commit() {
+	if !t.done {
+		t.state.instr.txnCommits.Inc()
+	}
 	t.done = true
 }
 

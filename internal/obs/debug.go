@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the opt-in live-inspection endpoint behind the cmds'
+// -debug-addr flag: net/http/pprof for CPU/heap/goroutine profiling of
+// long full-scale runs, plus /metrics.json serving the registry
+// snapshot. It binds eagerly (so a bad address fails fast) and serves
+// in the background until Close.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// NewDebugMux builds the handler tree: /debug/pprof/* and
+// /metrics.json. Exposed separately so embedding applications can mount
+// it on their own server.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "spacebooking debug server")
+		fmt.Fprintln(w, "  /metrics.json   registry snapshot")
+		fmt.Fprintln(w, "  /debug/pprof/   live profiles")
+	})
+	return mux
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060") and serves
+// the debug mux in the background. The returned server reports the
+// bound address (useful with ":0") and is shut down with Close.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           NewDebugMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(lis) //nolint:errcheck // always returns ErrServerClosed after Close
+	return &DebugServer{srv: srv, addr: lis.Addr().String()}, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

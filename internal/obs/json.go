@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// RegistrySnapshot is the expvar-style point-in-time view of a registry:
+// every counter, gauge, histogram and phase by name. It is the payload
+// of both WriteJSON (the live /metrics.json endpoint) and the run
+// report's observability section.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Phases     []PhaseSnapshot              `json:"phases,omitempty"`
+}
+
+// Snapshot captures the registry. Safe to call concurrently with
+// instrument updates; a nil registry yields the zero snapshot.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	if r == nil {
+		return RegistrySnapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	phases := make(map[string]*Phase, len(r.phases))
+	for k, v := range r.phases {
+		phases[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			snap.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			snap.Histograms[k] = h.Snapshot()
+		}
+	}
+	for _, name := range sortedKeys(phases) {
+		p := phases[name]
+		snap.Phases = append(snap.Phases, PhaseSnapshot{
+			Name:         name,
+			Count:        p.count.Load(),
+			TotalSeconds: time.Duration(p.totalNs.Load()).Seconds(),
+		})
+	}
+	return snap
+}
+
+// WriteJSON writes the current snapshot as indented JSON — the
+// expvar-style dump served at /metrics.json. A nil registry writes an
+// empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

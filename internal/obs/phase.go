@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase accumulates wall-time over the spans of one named run phase
+// (e.g. "workload", "admission", "sweep"). A nil *Phase is a valid
+// no-op instrument.
+type Phase struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+}
+
+// add records one finished span.
+func (p *Phase) add(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.count.Add(1)
+	p.totalNs.Add(int64(d))
+}
+
+// Span is one in-flight phase timing. The zero Span (from a nil
+// registry) is a no-op and its End costs a single branch.
+type Span struct {
+	p     *Phase
+	start time.Time
+}
+
+// End closes the span, adding its elapsed wall-time to the phase.
+func (s Span) End() {
+	if s.p == nil {
+		return
+	}
+	s.p.add(time.Since(s.start))
+}
+
+// Phase returns the named phase accumulator, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Phase(name string) *Phase {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.phases[name]
+	if !ok {
+		p = &Phase{}
+		r.phases[name] = p
+	}
+	return p
+}
+
+// StartPhase opens a span on the named phase. On a nil registry it
+// returns the zero Span without reading the clock.
+func (r *Registry) StartPhase(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{p: r.Phase(name), start: time.Now()}
+}
+
+// PhaseSnapshot is the JSON form of one phase's accumulated timings.
+type PhaseSnapshot struct {
+	Name         string  `json:"name"`
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+}

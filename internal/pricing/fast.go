@@ -1,6 +1,10 @@
 package pricing
 
-import "math"
+import (
+	"math"
+
+	"spacebooking/internal/obs"
+)
 
 // lutSize is the resolution of the price lookup table. With 8192 bins
 // over λ ∈ [0,1] and linear interpolation, the relative error against
@@ -44,7 +48,15 @@ func (l *lut) at(lambda float64) float64 {
 type FastPricer struct {
 	congestion lut
 	energy     lut
+	// lookups, when instrumented, counts table evaluations — the
+	// innermost operation of admission pricing. Nil (a single branch)
+	// unless a registry is attached.
+	lookups *obs.Counter
 }
+
+// Instrument attaches a lookup counter (nil detaches). Not safe to call
+// concurrently with pricing; wire it at algorithm construction.
+func (f *FastPricer) Instrument(c *obs.Counter) { f.lookups = c }
 
 // Fast precomputes a FastPricer for these parameters.
 func (p Params) Fast() *FastPricer {
@@ -57,11 +69,13 @@ func (p Params) Fast() *FastPricer {
 // CongestionUnitCost is the table-backed equivalent of
 // Params.CongestionUnitCost: μ1^λ − 1.
 func (f *FastPricer) CongestionUnitCost(lambda float64) float64 {
+	f.lookups.Inc()
 	return f.congestion.at(lambda)
 }
 
 // EnergyUnitCost is the table-backed equivalent of
 // Params.EnergyUnitCost: μ2^λ − 1.
 func (f *FastPricer) EnergyUnitCost(lambda float64) float64 {
+	f.lookups.Inc()
 	return f.energy.at(lambda)
 }

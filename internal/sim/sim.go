@@ -9,11 +9,15 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"spacebooking/internal/adaptive"
 	"spacebooking/internal/baselines"
 	"spacebooking/internal/core"
+	"spacebooking/internal/energy"
+	"spacebooking/internal/graph"
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
 	"spacebooking/internal/router"
 	"spacebooking/internal/topology"
@@ -71,6 +75,39 @@ func PaperAlgorithms() []AlgorithmKind {
 	return []AlgorithmKind{AlgCEAR, AlgSSP, AlgECARS, AlgERU, AlgERA}
 }
 
+// AllAlgorithms returns every supported kind, in declaration order.
+func AllAlgorithms() []AlgorithmKind {
+	out := make([]AlgorithmKind, 0, int(AlgCEARAdaptive))
+	for k := AlgCEAR; k <= AlgCEARAdaptive; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// AlgorithmNames returns the display names of every supported kind —
+// the accepted inputs of ParseAlgorithm.
+func AlgorithmNames() []string {
+	kinds := AllAlgorithms()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// ParseAlgorithm maps a display name (case-insensitive) back to its
+// kind. It is the inverse of AlgorithmKind.String and the single source
+// of truth for the cmds' -alg flags.
+func ParseAlgorithm(name string) (AlgorithmKind, error) {
+	for _, k := range AllAlgorithms() {
+		if strings.EqualFold(name, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown algorithm %q (want one of %s)",
+		name, strings.Join(AlgorithmNames(), ", "))
+}
+
 // RunConfig parameterises one simulation run on a shared environment.
 type RunConfig struct {
 	Algorithm AlgorithmKind
@@ -91,6 +128,11 @@ type RunConfig struct {
 	// Trace, when non-nil, receives one structured record per admission
 	// decision plus per-slot network snapshots.
 	Trace *trace.Writer
+	// Obs, when non-nil, collects phase timings, admission counters and
+	// hot-path statistics for this run; the graph and energy package
+	// instruments are attached for the run's duration. Nil keeps every
+	// instrumented path on its no-op (allocation-free) branch.
+	Obs *obs.Registry
 }
 
 // DefaultRunConfig returns the paper's settings for one algorithm.
@@ -174,18 +216,19 @@ func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *n
 	if err != nil {
 		return nil, nil, err
 	}
+	state.SetObs(rc.Obs)
 	switch rc.Algorithm {
 	case AlgCEAR:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops})
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, Obs: rc.Obs})
 		return alg, state, err
 	case AlgCEARNoEnergy:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableEnergyPricing: true})
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableEnergyPricing: true, Obs: rc.Obs})
 		return alg, state, err
 	case AlgCEARNoAdmission:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableAdmission: true})
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableAdmission: true, Obs: rc.Obs})
 		return alg, state, err
 	case AlgCEARLinear:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, LinearPricing: true})
+		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, LinearPricing: true, Obs: rc.Obs})
 		return alg, state, err
 	case AlgCEARAdaptive:
 		acfg := adaptive.DefaultConfig(rc.Workload.ArrivalRatePerSlot)
@@ -197,6 +240,7 @@ func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *n
 		acfg.InitialF1 = rc.Pricing.F1
 		acfg.InitialF2 = rc.Pricing.F2
 		acfg.MaxHops = rc.MaxHops
+		acfg.Obs = rc.Obs
 		alg, err := adaptive.New(state, acfg)
 		return alg, state, err
 	case AlgSSP:
@@ -214,6 +258,23 @@ func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *n
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown algorithm kind %d", rc.Algorithm)
 	}
+}
+
+// attachInstruments wires the package-level instruments of the leaf
+// layers (graph searches, energy ledgers) into the run's registry.
+// Instruments are global — the search functions have no receiver to
+// carry a registry — so concurrent runs that both pass a registry
+// last-write-win; counts are merged, never racy.
+func attachInstruments(reg *obs.Registry) {
+	graph.SetInstruments(&graph.Instruments{
+		HeapPops:          reg.Counter("graph.dijkstra.heap_pops"),
+		EdgeRelaxations:   reg.Counter("graph.edge_relaxations"),
+		YenSpurIterations: reg.Counter("graph.yen.spur_iterations"),
+	})
+	energy.SetInstruments(&energy.Instruments{
+		DeficitWalks: reg.Counter("energy.deficit_walks"),
+		Consumptions: reg.Counter("energy.consumptions"),
+	})
 }
 
 // classifyReason maps a rejection reason to a stable category.
@@ -241,11 +302,21 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("sim: thresholds must be positive (congestion %v, depletion %v)",
 			rc.CongestionThresholdFrac, rc.DepletionThresholdFrac)
 	}
+	if rc.Obs != nil {
+		attachInstruments(rc.Obs)
+		defer graph.SetInstruments(nil)
+		defer energy.SetInstruments(nil)
+	}
+
+	wlSpan := rc.Obs.StartPhase("workload_generate")
 	reqs, err := workload.Generate(rc.Workload)
+	wlSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	buildSpan := rc.Obs.StartPhase("state_build")
 	alg, state, err := buildAlgorithm(prov, rc)
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -263,25 +334,46 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 	totalLatency := 0.0
 
 	if rc.Trace != nil {
-		rc.Trace.Emit(trace.Record{
+		if err := rc.Trace.Emit(trace.Record{
 			Kind:      trace.KindRunInfo,
 			Algorithm: alg.Name(),
 			Rate:      rc.Workload.ArrivalRatePerSlot,
 			Seed:      rc.Workload.Seed,
-		})
+		}); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 
+	// Per-slot loop instrumentation: admitted/rejected-by-reason
+	// counters plus a wall-time histogram over arrival-slot groups
+	// (requests are generated in arrival order). All nil-safe; the
+	// clock is only read when a registry is attached.
+	var (
+		ctrTotal     = rc.Obs.Counter("sim.requests.total")
+		ctrAccepted  = rc.Obs.Counter("sim.requests.accepted")
+		histSlotTime = rc.Obs.Histogram("sim.slot_seconds", nil)
+		slotStart    time.Time
+		curSlot      = -1
+	)
+	admSpan := rc.Obs.StartPhase("admission")
 	for _, req := range reqs {
 		if req.ArrivalSlot < 0 || req.ArrivalSlot >= horizon {
 			return nil, fmt.Errorf("sim: request %d arrival slot %d outside horizon [0,%d)",
 				req.ID, req.ArrivalSlot, horizon)
+		}
+		if rc.Obs != nil && req.ArrivalSlot != curSlot {
+			now := time.Now()
+			if curSlot >= 0 {
+				histSlotTime.Observe(now.Sub(slotStart).Seconds())
+			}
+			slotStart, curSlot = now, req.ArrivalSlot
 		}
 		d, err := alg.Handle(req)
 		if err != nil {
 			return nil, fmt.Errorf("sim: request %d: %w", req.ID, err)
 		}
 		if rc.Trace != nil {
-			rc.Trace.Emit(trace.Record{
+			if err := rc.Trace.Emit(trace.Record{
 				Kind:      trace.KindDecision,
 				RequestID: req.ID,
 				Arrival:   req.ArrivalSlot,
@@ -293,11 +385,15 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 				Price:     d.Price,
 				Reason:    d.Reason,
 				TotalHops: d.Plan.TotalHops(),
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
 		}
+		ctrTotal.Inc()
 		res.TotalValuation += req.Valuation
 		arrivedVal[req.ArrivalSlot] += req.Valuation
 		if d.Accepted {
+			ctrAccepted.Inc()
 			res.Accepted++
 			res.AcceptedValuation += req.Valuation
 			res.Revenue += d.Price
@@ -308,9 +404,17 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 				totalLatency += lat
 			}
 		} else {
-			res.Rejections[classifyReason(d.Reason)]++
+			reason := classifyReason(d.Reason)
+			if rc.Obs != nil {
+				rc.Obs.Counter("sim.requests.rejected." + reason).Inc()
+			}
+			res.Rejections[reason]++
 		}
 	}
+	if rc.Obs != nil && curSlot >= 0 {
+		histSlotTime.Observe(time.Since(slotStart).Seconds())
+	}
+	admSpan.End()
 
 	if res.TotalValuation > 0 {
 		res.WelfareRatio = res.AcceptedValuation / res.TotalValuation
@@ -322,6 +426,7 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 		res.AvgAcceptedLatencyMs = totalLatency / float64(res.Accepted)
 	}
 
+	sweepSpan := rc.Obs.StartPhase("metrics_sweep")
 	res.DepletedPerSlot = make([]int, horizon)
 	res.CongestedPerSlot = make([]int, horizon)
 	res.CumulativeWelfareRatio = make([]float64, horizon)
@@ -337,17 +442,20 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 			res.CumulativeWelfareRatio[t] = 1
 		}
 		if rc.Trace != nil {
-			rc.Trace.Emit(trace.Record{
+			if err := rc.Trace.Emit(trace.Record{
 				Kind:      trace.KindSnapshot,
 				Slot:      t,
 				Depleted:  res.DepletedPerSlot[t],
 				Congested: res.CongestedPerSlot[t],
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
 		}
 	}
+	sweepSpan.End()
 	if rc.Trace != nil {
 		if err := rc.Trace.Flush(); err != nil {
-			return nil, fmt.Errorf("sim: trace: %w", err)
+			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
 	return res, nil

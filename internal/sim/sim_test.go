@@ -3,11 +3,13 @@ package sim
 import (
 	"bytes"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
 	"spacebooking/internal/trace"
 
@@ -97,6 +99,105 @@ func TestAlgorithmKindString(t *testing.T) {
 	}
 	if len(PaperAlgorithms()) != 5 {
 		t.Error("paper comparison is five algorithms")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	// Round-trip: every kind parses back from its display name.
+	for _, k := range AllAlgorithms() {
+		got, err := ParseAlgorithm(k.String())
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseAlgorithm(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	// Case-insensitive.
+	for in, want := range map[string]AlgorithmKind{
+		"cear": AlgCEAR, "Ssp": AlgSSP, "cear-ne": AlgCEARNoEnergy, "CEAR-ad": AlgCEARAdaptive,
+	} {
+		if got, err := ParseAlgorithm(in); err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	// Unknown names error and name the valid set.
+	if _, err := ParseAlgorithm("DIJKSTRA"); err == nil {
+		t.Error("unknown algorithm should error")
+	} else if !strings.Contains(err.Error(), "CEAR-AD") {
+		t.Errorf("error %q should list the valid names", err)
+	}
+	if got := len(AlgorithmNames()); got != len(AllAlgorithms()) {
+		t.Errorf("AlgorithmNames has %d entries, want %d", got, len(AllAlgorithms()))
+	}
+}
+
+func TestRunWithObservability(t *testing.T) {
+	prov := testProvider(t)
+	rc, err := DefaultRunConfig(AlgCEAR, testWorkload(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	rc.Obs = reg
+	res, err := Run(prov, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.requests.total"]; got != int64(res.TotalRequests) {
+		t.Errorf("sim.requests.total = %d, want %d", got, res.TotalRequests)
+	}
+	if got := snap.Counters["sim.requests.accepted"]; got != int64(res.Accepted) {
+		t.Errorf("sim.requests.accepted = %d, want %d", got, res.Accepted)
+	}
+	for reason, n := range res.Rejections {
+		if got := snap.Counters["sim.requests.rejected."+reason]; got != int64(n) {
+			t.Errorf("rejected.%s counter = %d, want %d", reason, got, n)
+		}
+	}
+	if snap.Counters["core.admission.evaluations"] != int64(res.TotalRequests) {
+		t.Errorf("core evaluations = %d, want %d",
+			snap.Counters["core.admission.evaluations"], res.TotalRequests)
+	}
+	for _, name := range []string{
+		"graph.dijkstra.heap_pops", "graph.edge_relaxations",
+		"netstate.txn.commits", "pricing.lut_lookups",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	phases := make(map[string]obs.PhaseSnapshot, len(snap.Phases))
+	for _, p := range snap.Phases {
+		phases[p.Name] = p
+	}
+	for _, name := range []string{"workload_generate", "state_build", "admission", "metrics_sweep"} {
+		p, ok := phases[name]
+		if !ok || p.Count == 0 {
+			t.Errorf("phase %s missing or never timed: %+v", name, p)
+		}
+	}
+	slotHist, ok := snap.Histograms["sim.slot_seconds"]
+	if !ok {
+		t.Fatal("sim.slot_seconds histogram missing")
+	}
+	// One observation per slot that received at least one request, so
+	// the count is positive and bounded by the horizon.
+	if slotHist.Count <= 0 || slotHist.Count > int64(prov.Horizon()) {
+		t.Errorf("slot histogram count = %d, want within (0, %d]", slotHist.Count, prov.Horizon())
+	}
+
+	// The graph/energy package instruments must be detached after Run, so
+	// a second uninstrumented run leaves the counters untouched.
+	pops := snap.Counters["graph.dijkstra.heap_pops"]
+	rc.Obs = nil
+	if _, err := Run(prov, rc); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("graph.dijkstra.heap_pops").Value(); got != pops {
+		t.Errorf("heap pops moved from %d to %d after an uninstrumented run", pops, got)
 	}
 }
 

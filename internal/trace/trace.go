@@ -58,47 +58,86 @@ type Record struct {
 
 // Writer emits trace records as JSON lines. It is safe for sequential
 // use within one run; a mutex guards against accidental sharing.
+//
+// Errors are never dropped: Emit returns the write error immediately,
+// the first error is sticky (later Emits return it unchanged without
+// writing), and Flush/Close resurface it — so a caller that only
+// checks Close still sees a mid-run disk-full.
 type Writer struct {
-	mu  sync.Mutex
-	buf *bufio.Writer
-	err error
+	mu    sync.Mutex
+	under io.Writer
+	buf   *bufio.Writer
+	err   error
 }
 
-// NewWriter wraps an io.Writer (file, pipe, buffer).
+// NewWriter wraps an io.Writer (file, pipe, buffer). If the writer is
+// also an io.Closer, Close closes it after the final flush.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{buf: bufio.NewWriter(w)}
+	return &Writer{under: w, buf: bufio.NewWriter(w)}
 }
 
-// Emit writes one record. After the first error all writes are no-ops;
-// the error resurfaces from Flush.
-func (w *Writer) Emit(r Record) {
+// Emit writes one record and returns any marshal or write error. After
+// the first error all writes are no-ops returning that same error,
+// which also resurfaces from Flush and Close.
+func (w *Writer) Emit(r Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
-		return
+		return w.err
 	}
 	data, err := json.Marshal(r)
 	if err != nil {
 		w.err = fmt.Errorf("trace: marshal: %w", err)
-		return
+		return w.err
 	}
 	if _, err := w.buf.Write(data); err != nil {
 		w.err = fmt.Errorf("trace: write: %w", err)
-		return
+		return w.err
 	}
 	if err := w.buf.WriteByte('\n'); err != nil {
 		w.err = fmt.Errorf("trace: write: %w", err)
 	}
+	return w.err
+}
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Flush drains the buffer and returns the first error encountered.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.buf.Flush()
+	if err := w.buf.Flush(); err != nil {
+		w.err = fmt.Errorf("trace: flush: %w", err)
+	}
+	return w.err
+}
+
+// Close flushes the buffer and closes the underlying writer (when it is
+// an io.Closer), returning the first error from any stage. The sink is
+// unusable afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	flushErr := w.flushLocked()
+	if c, ok := w.under.(io.Closer); ok {
+		if err := c.Close(); err != nil && flushErr == nil {
+			flushErr = fmt.Errorf("trace: close: %w", err)
+			w.err = flushErr
+		}
+	}
+	return flushErr
 }
 
 // Read parses a trace stream back into records, e.g. for analysis

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -55,17 +56,84 @@ func TestReadErrors(t *testing.T) {
 
 func TestWriterErrorSticks(t *testing.T) {
 	w := NewWriter(failWriter{})
-	for i := 0; i < 100; i++ {
-		w.Emit(Record{Kind: KindDecision, RequestID: i})
+	var first error
+	for i := 0; i < 200; i++ {
+		err := w.Emit(Record{Kind: KindDecision, RequestID: i})
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		} else if err != first {
+			t.Fatalf("later Emit returned a different error: %v vs %v", err, first)
+		}
 	}
-	if err := w.Flush(); err == nil {
-		t.Error("expected sticky error")
+	if first == nil {
+		t.Fatal("Emit never surfaced the write error")
+	}
+	if err := w.Err(); err != first {
+		t.Errorf("Err() = %v, want the sticky %v", err, first)
+	}
+	if err := w.Flush(); err != first {
+		t.Errorf("Flush() = %v, want the sticky %v", err, first)
+	}
+	if err := w.Close(); err != first {
+		t.Errorf("Close() = %v, want the sticky %v", err, first)
+	}
+}
+
+func TestWriterEmitSurfacesBufferedError(t *testing.T) {
+	// A small record fits bufio's buffer, so the first Emits succeed; the
+	// error must still surface from a later Emit or at the latest Close —
+	// a caller checking only Close sees the mid-run failure.
+	w := NewWriter(failWriter{})
+	w.Emit(Record{Kind: KindSnapshot, Slot: 1})
+	if err := w.Close(); err == nil {
+		t.Error("Close swallowed the write error")
+	}
+}
+
+func TestWriterCloseClosesUnderlying(t *testing.T) {
+	var buf bytes.Buffer
+	cw := &closeWriter{w: &buf}
+	w := NewWriter(cw)
+	if err := w.Emit(Record{Kind: KindSnapshot, Slot: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !cw.closed {
+		t.Error("Close did not close the underlying writer")
+	}
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].Slot != 3 {
+		t.Errorf("records after Close = %+v", records)
+	}
+}
+
+func TestWriterCloseReturnsCloseError(t *testing.T) {
+	w := NewWriter(&closeWriter{w: &bytes.Buffer{}, closeErr: errors.New("fsync lost")})
+	if err := w.Close(); err == nil || !strings.Contains(err.Error(), "fsync lost") {
+		t.Errorf("Close() = %v, want the underlying close error", err)
 	}
 }
 
 type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+type closeWriter struct {
+	w        io.Writer
+	closed   bool
+	closeErr error
+}
+
+func (c *closeWriter) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *closeWriter) Close() error                { c.closed = true; return c.closeErr }
 
 func TestSummarize(t *testing.T) {
 	records := []Record{

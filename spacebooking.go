@@ -22,6 +22,7 @@ import (
 
 	"spacebooking/internal/grid"
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/orbit"
 	"spacebooking/internal/pricing"
 	"spacebooking/internal/sim"
@@ -106,6 +107,10 @@ type Environment struct {
 	valuation   float64
 	// Logf, when non-nil, receives progress lines from the long runners.
 	Logf func(format string, args ...interface{})
+	// Obs, when non-nil, instruments every run launched through this
+	// environment (counters, histograms, phase timers — see internal/obs).
+	// A RunConfig that already carries its own registry keeps it.
+	Obs *obs.Registry
 }
 
 // DefaultEpoch is the fixed simulation start used when EnvConfig.Epoch
@@ -299,8 +304,12 @@ func (e *Environment) RunConfig(alg sim.AlgorithmKind, wl workload.Config) (sim.
 	return sim.DefaultRunConfig(alg, wl)
 }
 
-// Run executes a single simulation run.
+// Run executes a single simulation run. When the environment carries an
+// observability registry and the config does not, the run inherits it.
 func (e *Environment) Run(rc sim.RunConfig) (*sim.Result, error) {
+	if rc.Obs == nil {
+		rc.Obs = e.Obs
+	}
 	return sim.Run(e.Provider, rc)
 }
 
