@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench-smoke
+.PHONY: check build test vet race bench-smoke obsdiff-smoke
 
 check: vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -22,3 +22,11 @@ race:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Produce a tiny-run report and diff it against itself: exercises the
+# report pipeline end to end and must exit 0 (the CI smoke for the
+# obsdiff perf gate).
+obsdiff-smoke:
+	$(GO) run ./cmd/cearsim -scale small -report /tmp/obsdiff-smoke.json >/dev/null
+	$(GO) run ./cmd/obsdiff /tmp/obsdiff-smoke.json /tmp/obsdiff-smoke.json
+	@rm -f /tmp/obsdiff-smoke.json

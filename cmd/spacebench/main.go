@@ -79,6 +79,11 @@ func run() int {
 		return 1
 	}
 	env.Obs = reg
+	// Figures run several algorithms back to back on one registry; reset
+	// between runs so one algorithm's instruments (and time series) do
+	// not bleed into the next. The report therefore snapshots the last
+	// run of the figure.
+	env.ResetObsPerRun = true
 	if !*quiet {
 		env.Logf = func(format string, args ...interface{}) {
 			fmt.Printf("  "+format+"\n", args...)
@@ -145,6 +150,9 @@ func writeReport(path, figure string, scale spacebooking.Scale, opts runOpts, el
 	rep.SetConfig("scale", scale.String())
 	rep.SetConfig("seed", opts.seed)
 	rep.SetConfig("num_seeds", len(opts.seeds))
+	// The registry is reset before each run, so the snapshot below
+	// covers the figure's last run only.
+	rep.SetConfig("obs_scope", "last_run")
 	rep.SetMetric("elapsed_seconds", elapsed.Seconds())
 	rep.Finish(reg)
 	if err := obs.WriteReportFile(path, rep); err != nil {

@@ -6,10 +6,14 @@
 // Usage:
 //
 //	tracestat <trace.jsonl>
+//	cearsim -scale small -trace - | tracestat -
+//
+// The argument "-" reads the trace from standard input.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,51 +22,61 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run() int {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.jsonl>")
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: tracestat <trace.jsonl | ->")
 		return 2
 	}
-	f, err := os.Open(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	var in io.Reader
+	name := args[0]
+	if name == "-" {
+		in = stdin
+		name = "<stdin>"
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		in = f
 	}
-	defer f.Close()
 
-	records, err := trace.Read(f)
+	records, err := trace.Read(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		// A malformed line mid-stream is a data error, not a usage
+		// error: name the input and pass the line-numbered cause on.
+		fmt.Fprintf(stderr, "tracestat: %s: %v\n", name, err)
 		return 1
 	}
 	if len(records) == 0 {
-		fmt.Println("empty trace")
+		fmt.Fprintln(stdout, "empty trace")
 		return 0
 	}
 
 	if records[0].Kind == trace.KindRunInfo {
 		info := records[0]
-		fmt.Printf("run: %s, rate %.3g req/min, seed %d\n", info.Algorithm, info.Rate, info.Seed)
+		fmt.Fprintf(stdout, "run: %s, rate %.3g req/min, seed %d\n", info.Algorithm, info.Rate, info.Seed)
 	}
 
 	summary := trace.Summarize(records)
-	fmt.Printf("requests: %d total, %d accepted (%.1f%%), %d rejected\n",
+	fmt.Fprintf(stdout, "requests: %d total, %d accepted (%.1f%%), %d rejected\n",
 		summary.Total, summary.Accepted,
 		100*float64(summary.Accepted)/float64(maxInt(1, summary.Total)), summary.Rejected)
-	fmt.Printf("revenue:  %.4g\n", summary.Revenue)
+	fmt.Fprintf(stdout, "revenue:  %.4g\n", summary.Revenue)
 
 	if len(summary.ByReason) > 0 {
-		fmt.Println("rejections by reason:")
+		fmt.Fprintln(stdout, "rejections by reason:")
 		reasons := make([]string, 0, len(summary.ByReason))
 		for r := range summary.ByReason {
 			reasons = append(reasons, r)
 		}
 		sort.Strings(reasons)
 		for _, r := range reasons {
-			fmt.Printf("  %-50.50s %d\n", r, summary.ByReason[r])
+			fmt.Fprintf(stdout, "  %-50.50s %d\n", r, summary.ByReason[r])
 		}
 	}
 
@@ -87,17 +101,17 @@ func run() int {
 		}
 	}
 	if len(prices) > 0 {
-		fmt.Printf("accepted price quantiles: p25 %s  p50 %s  p90 %s  max %s\n",
+		fmt.Fprintf(stdout, "accepted price quantiles: p25 %s  p50 %s  p90 %s  max %s\n",
 			metrics.FormatFloat(metrics.Quantile(prices, 0.25)),
 			metrics.FormatFloat(metrics.Quantile(prices, 0.5)),
 			metrics.FormatFloat(metrics.Quantile(prices, 0.9)),
 			metrics.FormatFloat(metrics.Quantile(prices, 1)))
 		mean, _ := metrics.MeanStd(hops)
-		fmt.Printf("mean plan hops: %s\n", metrics.FormatFloat(mean))
+		fmt.Fprintf(stdout, "mean plan hops: %s\n", metrics.FormatFloat(mean))
 	}
 	if len(depleted) > 0 {
-		fmt.Printf("depleted satellites over time:\n%s\n", metrics.Sparkline(depleted, 96))
-		fmt.Printf("congested links over time:\n%s\n", metrics.Sparkline(congested, 96))
+		fmt.Fprintf(stdout, "depleted satellites over time:\n%s\n", metrics.Sparkline(depleted, 96))
+		fmt.Fprintf(stdout, "congested links over time:\n%s\n", metrics.Sparkline(congested, 96))
 	}
 	return 0
 }

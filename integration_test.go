@@ -10,6 +10,7 @@ import (
 
 	"spacebooking/internal/core"
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/offline"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/topology"
@@ -299,6 +300,48 @@ func TestAdaptiveControllerEndToEnd(t *testing.T) {
 	}
 	if res.Accepted == 0 {
 		t.Error("adaptive CEAR accepted nothing")
+	}
+}
+
+// TestEnvironmentResetObsPerRun: with the spacebench setting on, two
+// sequential per-algorithm runs through one environment registry must
+// leave a snapshot describing only the last run — no accumulation of
+// counters or per-slot time series across runs.
+func TestEnvironmentResetObsPerRun(t *testing.T) {
+	env := smallEnv(t)
+	reg := obs.New()
+	env.Obs = reg
+	env.ResetObsPerRun = true
+	defer func() {
+		env.Obs = nil
+		env.ResetObsPerRun = false
+	}()
+
+	runTotal := func(alg sim.AlgorithmKind) int64 {
+		wl := env.WorkloadConfig(env.DefaultArrivalRate(), 7)
+		rc, err := env.RunConfig(alg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := env.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counters["sim.requests.total"]; got != int64(res.TotalRequests) {
+			t.Errorf("%s: sim.requests.total = %d, want %d (previous run bled in)",
+				alg, got, res.TotalRequests)
+		}
+		horizon := int64(env.Provider.Horizon())
+		if got := snap.TimeSeries["slot.accepted"].Total; got != horizon {
+			t.Errorf("%s: slot.accepted has %d samples, want %d", alg, got, horizon)
+		}
+		return snap.Counters["sim.requests.total"]
+	}
+	first := runTotal(sim.AlgCEAR)
+	second := runTotal(sim.AlgSSP)
+	if first == 0 || second == 0 {
+		t.Fatal("instrumented runs recorded nothing")
 	}
 }
 

@@ -78,6 +78,19 @@ func (b *Battery) LevelAt(t int) float64 {
 	return b.capacityJ - b.DeficitAt(t)
 }
 
+// SumDeficitJ returns the fleet-wide outstanding energy deficit
+// Σ_s (ϖ_s − b_s(t)) at the end of slot t — the per-slot energy-debt
+// telemetry behind the run report's time series. Allocation-free.
+func SumDeficitJ(batteries []*Battery, t int) float64 {
+	total := 0.0
+	for _, b := range batteries {
+		if b != nil {
+			total += b.DeficitAt(t)
+		}
+	}
+	return total
+}
+
 // UtilizationAt returns λ_s(t) = (ϖ_s − b_s(t)) / ϖ_s, per Eq. (9),
 // clamped to [0, 1].
 func (b *Battery) UtilizationAt(t int) float64 {

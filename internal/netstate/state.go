@@ -278,6 +278,13 @@ func (s *State) DepletedSatCount(slot int, thresholdFrac float64) int {
 	return count
 }
 
+// EnergyDeficitJ returns the fleet-wide outstanding energy deficit at
+// the end of the slot — the per-slot "energy debt" gauge of the
+// telemetry layer. Allocation-free.
+func (s *State) EnergyDeficitJ(slot int) float64 {
+	return energy.SumDeficitJ(s.batteries, slot)
+}
+
 // Consumption is one satellite energy draw: Joules consumed at Slot on
 // satellite Sat.
 type Consumption struct {

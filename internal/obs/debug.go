@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,9 +19,10 @@ type DebugServer struct {
 	addr string
 }
 
-// NewDebugMux builds the handler tree: /debug/pprof/* and
-// /metrics.json. Exposed separately so embedding applications can mount
-// it on their own server.
+// NewDebugMux builds the handler tree: /debug/pprof/*, /metrics.json
+// (expvar-style snapshot), /metrics (Prometheus text exposition) and
+// /timeseries.json (per-slot telemetry). Exposed separately so embedding
+// applications can mount it on their own server.
 func NewDebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -34,14 +36,34 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := reg.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/timeseries.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ts := reg.Snapshot().TimeSeries
+		if ts == nil {
+			ts = map[string]SeriesSnapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ts); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		fmt.Fprintln(w, "spacebooking debug server")
-		fmt.Fprintln(w, "  /metrics.json   registry snapshot")
-		fmt.Fprintln(w, "  /debug/pprof/   live profiles")
+		fmt.Fprintln(w, "  /metrics          Prometheus text exposition")
+		fmt.Fprintln(w, "  /metrics.json     registry snapshot")
+		fmt.Fprintln(w, "  /timeseries.json  per-slot telemetry")
+		fmt.Fprintln(w, "  /debug/pprof/     live profiles")
 	})
 	return mux
 }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestMux serves a small populated registry through the debug mux.
+func newTestMux() *http.ServeMux {
+	r := New()
+	r.Counter("live").Add(42)
+	r.Sampler(8).Series("slot.accepted").Record(0, 3)
+	return NewDebugMux(r)
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDebugMuxMetricsJSONContentType(t *testing.T) {
+	rec := get(t, newTestMux(), "/metrics.json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	if snap.Counters["live"] != 42 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.TimeSeries["slot.accepted"].Last() != 3 {
+		t.Fatalf("timeseries = %+v", snap.TimeSeries)
+	}
+}
+
+func TestDebugMuxPrometheusEndpoint(t *testing.T) {
+	rec := get(t, newTestMux(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type = %q, want %q", ct, PromContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"# TYPE live counter", "live 42", "# TYPE slot_accepted gauge"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugMuxTimeseriesEndpoint(t *testing.T) {
+	rec := get(t, newTestMux(), "/timeseries.json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var ts map[string]SeriesSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &ts); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	s, ok := ts["slot.accepted"]
+	if !ok || s.Total != 1 || s.Last() != 3 {
+		t.Fatalf("timeseries = %+v", ts)
+	}
+
+	// A registry with no series serves an empty object, not null.
+	rec = get(t, NewDebugMux(New()), "/timeseries.json")
+	if got := strings.TrimSpace(rec.Body.String()); got != "{}" {
+		t.Fatalf("empty registry body = %q, want {}", got)
+	}
+}
+
+func TestDebugMuxIndexAndNotFound(t *testing.T) {
+	rec := get(t, newTestMux(), "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index status = %d", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	for _, want := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/debug/pprof/"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("index missing %q:\n%s", want, body)
+		}
+	}
+	if rec := get(t, newTestMux(), "/no/such/path"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", rec.Code)
+	}
+}

@@ -48,6 +48,18 @@ func TimeBuckets() []float64 {
 	return out
 }
 
+// reset zeroes every bucket and the exact aggregates, returning the
+// histogram to its freshly constructed state.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+}
+
 // Observe records one value. No-op on a nil histogram.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {

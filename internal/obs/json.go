@@ -15,6 +15,7 @@ type RegistrySnapshot struct {
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Phases     []PhaseSnapshot              `json:"phases,omitempty"`
+	TimeSeries map[string]SeriesSnapshot    `json:"timeseries,omitempty"`
 }
 
 // Snapshot captures the registry. Safe to call concurrently with
@@ -40,6 +41,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for k, v := range r.phases {
 		phases[k] = v
 	}
+	sampler := r.sampler
 	r.mu.Unlock()
 
 	snap := RegistrySnapshot{}
@@ -69,6 +71,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			TotalSeconds: time.Duration(p.totalNs.Load()).Seconds(),
 		})
 	}
+	snap.TimeSeries = sampler.Snapshot()
 	return snap
 }
 

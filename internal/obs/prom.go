@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format served at /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes the registry snapshot in the Prometheus text
+// exposition format (0.0.4): counters and gauges as scalar families,
+// histograms with cumulative le-labelled buckets plus _sum/_count,
+// phases as seconds/spans counters labelled by phase name, and each
+// time series' most recent sample as a gauge. Families are emitted in
+// lexical name order so output is directly diffable. A nil registry
+// writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return writeProm(w, r.Snapshot())
+}
+
+func writeProm(w io.Writer, snap RegistrySnapshot) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := PromName(name)
+		fmt.Fprintf(&b, "# HELP %s Monotonic counter %q.\n", pn, name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(&b, "%s %d\n", pn, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := PromName(name)
+		fmt.Fprintf(&b, "# HELP %s Gauge %q.\n", pn, name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(&b, "%s %s\n", pn, promFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := PromName(name)
+		fmt.Fprintf(&b, "# HELP %s Summary of histogram %q (fixed-bucket quantile estimates).\n", pn, name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(&b, "%s{quantile=%q} %s\n", pn, q.label, promFloat(q.v))
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	if len(snap.Phases) > 0 {
+		fmt.Fprintf(&b, "# HELP phase_seconds_total Accumulated wall time per run phase.\n")
+		fmt.Fprintf(&b, "# TYPE phase_seconds_total counter\n")
+		for _, p := range snap.Phases {
+			fmt.Fprintf(&b, "phase_seconds_total{phase=%q} %s\n", p.Name, promFloat(p.TotalSeconds))
+		}
+		fmt.Fprintf(&b, "# HELP phase_spans_total Finished spans per run phase.\n")
+		fmt.Fprintf(&b, "# TYPE phase_spans_total counter\n")
+		for _, p := range snap.Phases {
+			fmt.Fprintf(&b, "phase_spans_total{phase=%q} %d\n", p.Name, p.Count)
+		}
+	}
+	for _, name := range sortedKeys(snap.TimeSeries) {
+		ts := snap.TimeSeries[name]
+		pn := PromName(name)
+		fmt.Fprintf(&b, "# HELP %s Latest sample of time series %q.\n", pn, name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(&b, "%s %s\n", pn, promFloat(ts.Last()))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PromName sanitizes an instrument name into a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (and any other illegal rune)
+// become underscores; a leading digit gains an underscore prefix.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects: shortest exact
+// decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sim.requests.total": "sim_requests_total",
+		"slot.wall_seconds":  "slot_wall_seconds",
+		"already_legal:name": "already_legal:name",
+		"9starts.with.digit": "_9starts_with_digit",
+		"space here-dash":    "space_here_dash",
+		"café":               "caf_",
+		"":                   "_",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePromGolden locks the text exposition format: family ordering,
+// HELP/TYPE lines, name sanitization, label quoting and float rendering.
+// Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestWritePromGolden(t *testing.T) {
+	snap := RegistrySnapshot{
+		Counters: map[string]int64{
+			"sim.requests.total":       42,
+			"graph.dijkstra.heap_pops": 1234,
+		},
+		Gauges: map[string]float64{
+			"netstate.depleted_sats": 3,
+			"energy.total_deficit_j": 1.25e6,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"sim.slot_seconds": {Count: 10, Sum: 0.5, Min: 0.01, Max: 0.2, Mean: 0.05, P50: 0.04, P95: 0.18, P99: 0.2},
+		},
+		Phases: []PhaseSnapshot{
+			{Name: "admission", Count: 1, TotalSeconds: 0.125},
+			{Name: "metrics_sweep", Count: 2, TotalSeconds: 0.0625},
+		},
+		TimeSeries: map[string]SeriesSnapshot{
+			"slot.congested_links": {Capacity: 4, Total: 2, Slots: []int64{0, 1}, Values: []float64{0, 5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeProm(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus exposition drifted from golden:\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromLiveRegistry(t *testing.T) {
+	r := New()
+	r.Counter("a.b").Add(7)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	r.StartPhase("p").End()
+	r.Sampler(4).Series("slot.accepted").Record(3, 9)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_b counter\na_b 7\n",
+		"# TYPE g gauge\ng 2.5\n",
+		"h_count 1\n",
+		`phase_spans_total{phase="p"} 1`,
+		"# TYPE slot_accepted gauge\nslot_accepted 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// A nil registry writes nothing.
+	buf.Reset()
+	var nilReg *Registry
+	if err := nilReg.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err %v, %d bytes", err, buf.Len())
+	}
+}

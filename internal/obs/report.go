@@ -8,8 +8,9 @@ import (
 )
 
 // ReportVersion is bumped whenever the report schema changes
-// incompatibly, so downstream diff tooling can refuse mixed versions.
-const ReportVersion = 1
+// incompatibly, so downstream diff tooling (cmd/obsdiff) can refuse
+// mixed versions. Version 2 added the top-level timeseries section.
+const ReportVersion = 2
 
 // Report is the machine-readable end-of-run artifact written by
 // `cearsim -report run.json` (and spacebench): the run's configuration
@@ -26,7 +27,12 @@ type Report struct {
 	// Metrics holds the final scalar results (welfare ratio, revenue,
 	// accepted counts, rejection counts by reason, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// Observability is the registry snapshot at the end of the run.
+	// TimeSeries holds the run's per-slot telemetry (accepted/rejected
+	// counts, cumulative revenue, depletion/congestion levels, slot wall
+	// time) — enough to redraw a Fig. 7-style trajectory without a trace.
+	TimeSeries map[string]SeriesSnapshot `json:"timeseries,omitempty"`
+	// Observability is the registry snapshot at the end of the run
+	// (time series excluded: they live in the TimeSeries section).
 	Observability RegistrySnapshot `json:"observability"`
 }
 
@@ -46,9 +52,15 @@ func (rep *Report) SetConfig(key string, value any) { rep.Config[key] = value }
 // SetMetric records one scalar result.
 func (rep *Report) SetMetric(key string, value float64) { rep.Metrics[key] = value }
 
-// Finish captures the registry into the report's observability section.
-// A nil registry leaves it empty.
-func (rep *Report) Finish(r *Registry) { rep.Observability = r.Snapshot() }
+// Finish captures the registry into the report: the per-slot telemetry
+// becomes the timeseries section and everything else the observability
+// section. A nil registry leaves both empty.
+func (rep *Report) Finish(r *Registry) {
+	snap := r.Snapshot()
+	rep.TimeSeries = snap.TimeSeries
+	snap.TimeSeries = nil
+	rep.Observability = snap
+}
 
 // WriteReport writes the report as indented JSON.
 func WriteReport(w io.Writer, rep *Report) error {

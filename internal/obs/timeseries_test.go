@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSeriesRecordAndSnapshot(t *testing.T) {
+	r := New()
+	sp := r.Sampler(4)
+	s := sp.Series("slot.accepted")
+	if sp.Series("slot.accepted") != s {
+		t.Fatal("same name should return the same series")
+	}
+	for i := 0; i < 3; i++ {
+		s.Record(int64(i), float64(10*i))
+	}
+	snap := s.Snapshot()
+	if snap.Capacity != 4 || snap.Total != 3 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if len(snap.Slots) != 3 || snap.Slots[0] != 0 || snap.Slots[2] != 2 {
+		t.Fatalf("slots = %v", snap.Slots)
+	}
+	if snap.Values[1] != 10 || snap.Last() != 20 {
+		t.Fatalf("values = %v, last %v", snap.Values, snap.Last())
+	}
+}
+
+func TestSeriesRingOverwrite(t *testing.T) {
+	s := newSeries(3)
+	for i := 0; i < 7; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	snap := s.Snapshot()
+	if snap.Total != 7 || len(snap.Slots) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Retains the newest three samples, oldest first.
+	want := []int64{4, 5, 6}
+	for i, w := range want {
+		if snap.Slots[i] != w || snap.Values[i] != float64(w) {
+			t.Fatalf("retained = %v/%v, want slots %v", snap.Slots, snap.Values, want)
+		}
+	}
+	if s.Len() != 3 || s.Total() != 7 {
+		t.Fatalf("len/total = %d/%d", s.Len(), s.Total())
+	}
+}
+
+func TestNilSamplerAndSeries(t *testing.T) {
+	var r *Registry
+	sp := r.Sampler(16)
+	if sp != nil {
+		t.Fatal("nil registry must hand out a nil sampler")
+	}
+	s := sp.Series("x")
+	s.Record(1, 2)
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatal("nil series must stay empty")
+	}
+	if got := s.Snapshot(); got.Capacity != 0 || got.Total != 0 {
+		t.Fatalf("nil series snapshot = %+v", got)
+	}
+	if sp.Snapshot() != nil {
+		t.Fatal("nil sampler snapshot must be nil")
+	}
+	if (SeriesSnapshot{}).Last() != 0 {
+		t.Fatal("empty snapshot Last must be 0")
+	}
+}
+
+func TestSamplerCapacityFixedAtCreation(t *testing.T) {
+	r := New()
+	sp := r.Sampler(2)
+	if r.Sampler(999) != sp {
+		t.Fatal("second Sampler call must reuse the first sampler")
+	}
+	if got := sp.Series("a").Snapshot().Capacity; got != 2 {
+		t.Fatalf("capacity = %d, want 2", got)
+	}
+	if got := New().Sampler(0).Series("b").Snapshot().Capacity; got != DefaultSeriesCapacity {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultSeriesCapacity)
+	}
+}
+
+func TestRegistrySnapshotIncludesTimeSeries(t *testing.T) {
+	r := New()
+	r.Sampler(8).Series("slot.revenue_cum").Record(0, 1.5)
+	snap := r.Snapshot()
+	ts, ok := snap.TimeSeries["slot.revenue_cum"]
+	if !ok || ts.Last() != 1.5 {
+		t.Fatalf("snapshot timeseries = %+v", snap.TimeSeries)
+	}
+	if New().Snapshot().TimeSeries != nil {
+		t.Fatal("registry without series must snapshot nil timeseries")
+	}
+}
+
+// TestSeriesRecordAllocs is the acceptance check that per-slot sampling
+// is allocation-free on the hot path.
+func TestSeriesRecordAllocs(t *testing.T) {
+	r := New()
+	sp := r.Sampler(64)
+	a, b := sp.Series("slot.accepted"), sp.Series("slot.wall_seconds")
+	g := r.Gauge("netstate.depleted_sats")
+	slot := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.Record(slot, 1)
+		b.Record(slot, 0.25)
+		g.Set(3)
+		slot++
+	})
+	if allocs != 0 {
+		t.Fatalf("per-slot sampling allocated %v times per slot, want 0", allocs)
+	}
+	// The disabled (nil) path must also stay allocation-free.
+	var nilSeries *Series
+	allocs = testing.AllocsPerRun(1000, func() { nilSeries.Record(1, 2) })
+	if allocs != 0 {
+		t.Fatalf("nil series allocated %v times per record, want 0", allocs)
+	}
+}
+
+// BenchmarkSeriesRecord proves the per-slot hot path is allocation-free
+// at benchmark rigor (run with -benchmem: 0 allocs/op).
+func BenchmarkSeriesRecord(b *testing.B) {
+	r := New()
+	s := r.Sampler(4096).Series("slot.accepted")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	if testing.AllocsPerRun(100, func() { s.Record(1, 1) }) != 0 {
+		b.Fatal("Record allocated")
+	}
+}
+
+// TestSeriesConcurrent exercises Record against Snapshot under -race.
+func TestSeriesConcurrent(t *testing.T) {
+	r := New()
+	sp := r.Sampler(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := sp.Series("shared")
+			for i := 0; i < 500; i++ {
+				s.Record(int64(i), float64(i))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = sp.Snapshot()
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := sp.Series("shared").Total(); got != 4*500 {
+		t.Fatalf("total = %d, want %d", got, 4*500)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Add(9)
+	g := r.Gauge("g")
+	g.Set(4.5)
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(10)
+	r.StartPhase("p").End()
+	s := r.Sampler(4).Series("ts")
+	s.Record(0, 1)
+
+	r.Reset()
+
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("counter/gauge after reset = %d/%v", c.Value(), g.Value())
+	}
+	hs := h.Snapshot()
+	if hs.Count != 0 || hs.Sum != 0 {
+		t.Fatalf("histogram after reset = %+v", hs)
+	}
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatalf("series after reset: len %d total %d", s.Len(), s.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap.Phases) != 1 || snap.Phases[0].Count != 0 || snap.Phases[0].TotalSeconds != 0 {
+		t.Fatalf("phases after reset = %+v", snap.Phases)
+	}
+
+	// Handles stay live: instruments attached before the reset keep
+	// recording into the same registry afterwards.
+	c.Inc()
+	h.Observe(1.5)
+	s.Record(7, 7)
+	if c.Value() != 1 || h.Count() != 1 || s.Total() != 1 {
+		t.Fatalf("instruments dead after reset: %d/%d/%d", c.Value(), h.Count(), s.Total())
+	}
+	if got := s.Snapshot().Slots[0]; got != 7 {
+		t.Fatalf("series restarted at slot %d, want 7", got)
+	}
+
+	// Reset on a nil registry is a no-op.
+	var nilReg *Registry
+	nilReg.Reset()
+}

@@ -345,16 +345,36 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 	}
 
 	// Per-slot loop instrumentation: admitted/rejected-by-reason
-	// counters plus a wall-time histogram over arrival-slot groups
-	// (requests are generated in arrival order). All nil-safe; the
-	// clock is only read when a registry is attached.
+	// counters, a wall-time histogram over arrival-slot groups (requests
+	// are generated in arrival order), and the time-series sampler fed
+	// exactly once per slot — including request-free slots, so every
+	// series has one sample per horizon slot. All nil-safe; the clock is
+	// only read and samples only recorded when a registry is attached.
+	sampler := rc.Obs.Sampler(horizon)
 	var (
 		ctrTotal     = rc.Obs.Counter("sim.requests.total")
 		ctrAccepted  = rc.Obs.Counter("sim.requests.accepted")
 		histSlotTime = rc.Obs.Histogram("sim.slot_seconds", nil)
+		tsAccepted   = sampler.Series("slot.accepted")
+		tsRejected   = sampler.Series("slot.rejected")
+		tsRevenue    = sampler.Series("slot.revenue_cum")
+		tsWall       = sampler.Series("slot.wall_seconds")
 		slotStart    time.Time
 		curSlot      = -1
+		slotAccepted int64
+		slotRejected int64
 	)
+	// flushSlot emits one sample per series for a finished slot and
+	// rewinds the per-slot accumulators. Request-free gap slots flush
+	// with zero wall time and zero decision counts.
+	flushSlot := func(slot int, wallSec float64) {
+		s := int64(slot)
+		tsAccepted.Record(s, float64(slotAccepted))
+		tsRejected.Record(s, float64(slotRejected))
+		tsRevenue.Record(s, res.Revenue)
+		tsWall.Record(s, wallSec)
+		slotAccepted, slotRejected = 0, 0
+	}
 	admSpan := rc.Obs.StartPhase("admission")
 	for _, req := range reqs {
 		if req.ArrivalSlot < 0 || req.ArrivalSlot >= horizon {
@@ -364,7 +384,12 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 		if rc.Obs != nil && req.ArrivalSlot != curSlot {
 			now := time.Now()
 			if curSlot >= 0 {
-				histSlotTime.Observe(now.Sub(slotStart).Seconds())
+				wall := now.Sub(slotStart).Seconds()
+				histSlotTime.Observe(wall)
+				flushSlot(curSlot, wall)
+			}
+			for s := curSlot + 1; s < req.ArrivalSlot; s++ {
+				flushSlot(s, 0)
 			}
 			slotStart, curSlot = now, req.ArrivalSlot
 		}
@@ -394,6 +419,7 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 		arrivedVal[req.ArrivalSlot] += req.Valuation
 		if d.Accepted {
 			ctrAccepted.Inc()
+			slotAccepted++
 			res.Accepted++
 			res.AcceptedValuation += req.Valuation
 			res.Revenue += d.Price
@@ -408,11 +434,19 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 			if rc.Obs != nil {
 				rc.Obs.Counter("sim.requests.rejected." + reason).Inc()
 			}
+			slotRejected++
 			res.Rejections[reason]++
 		}
 	}
-	if rc.Obs != nil && curSlot >= 0 {
-		histSlotTime.Observe(time.Since(slotStart).Seconds())
+	if rc.Obs != nil {
+		if curSlot >= 0 {
+			wall := time.Since(slotStart).Seconds()
+			histSlotTime.Observe(wall)
+			flushSlot(curSlot, wall)
+		}
+		for s := curSlot + 1; s < horizon; s++ {
+			flushSlot(s, 0)
+		}
 	}
 	admSpan.End()
 
@@ -430,6 +464,18 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 	res.DepletedPerSlot = make([]int, horizon)
 	res.CongestedPerSlot = make([]int, horizon)
 	res.CumulativeWelfareRatio = make([]float64, horizon)
+	// Sweep-side telemetry: the Fig. 7/8 trajectories under the final
+	// reservation state, one sample per slot, plus end-of-run gauges
+	// (each gauge's last write is the final-slot level).
+	var (
+		tsDepleted  = sampler.Series("slot.depleted_sats")
+		tsCongested = sampler.Series("slot.congested_links")
+		tsDeficit   = sampler.Series("slot.energy_deficit_j")
+		tsWelfare   = sampler.Series("slot.welfare_cum")
+		gDepleted   = rc.Obs.Gauge("netstate.depleted_sats")
+		gCongested  = rc.Obs.Gauge("netstate.congested_links")
+		gDeficit    = rc.Obs.Gauge("energy.total_deficit_j")
+	)
 	cumArrived, cumAccepted := 0.0, 0.0
 	for t := 0; t < horizon; t++ {
 		res.DepletedPerSlot[t] = state.DepletedSatCount(t, rc.DepletionThresholdFrac)
@@ -440,6 +486,16 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 			res.CumulativeWelfareRatio[t] = cumAccepted / cumArrived
 		} else {
 			res.CumulativeWelfareRatio[t] = 1
+		}
+		if rc.Obs != nil {
+			deficit := state.EnergyDeficitJ(t)
+			tsDepleted.Record(int64(t), float64(res.DepletedPerSlot[t]))
+			tsCongested.Record(int64(t), float64(res.CongestedPerSlot[t]))
+			tsDeficit.Record(int64(t), deficit)
+			tsWelfare.Record(int64(t), res.CumulativeWelfareRatio[t])
+			gDepleted.Set(float64(res.DepletedPerSlot[t]))
+			gCongested.Set(float64(res.CongestedPerSlot[t]))
+			gDeficit.Set(deficit)
 		}
 		if rc.Trace != nil {
 			if err := rc.Trace.Emit(trace.Record{

@@ -189,6 +189,72 @@ func TestRunWithObservability(t *testing.T) {
 		t.Errorf("slot histogram count = %d, want within (0, %d]", slotHist.Count, prov.Horizon())
 	}
 
+	// The per-slot sampler records exactly one sample per horizon slot
+	// for every series, and the series agree with the result's own
+	// trajectories and totals.
+	horizon := prov.Horizon()
+	for _, name := range []string{
+		"slot.accepted", "slot.rejected", "slot.revenue_cum", "slot.wall_seconds",
+		"slot.depleted_sats", "slot.congested_links", "slot.energy_deficit_j", "slot.welfare_cum",
+	} {
+		ts, ok := snap.TimeSeries[name]
+		if !ok {
+			t.Fatalf("time series %s missing (have %v)", name, len(snap.TimeSeries))
+		}
+		if ts.Total != int64(horizon) || len(ts.Slots) != horizon {
+			t.Errorf("%s: %d samples over %d slots, want one per slot (horizon %d)",
+				name, ts.Total, len(ts.Slots), horizon)
+		}
+		for i, s := range ts.Slots {
+			if s != int64(i) {
+				t.Fatalf("%s: sample %d at slot %d, want %d", name, i, s, i)
+			}
+		}
+	}
+	sumSeries := func(name string) float64 {
+		total := 0.0
+		for _, v := range snap.TimeSeries[name].Values {
+			total += v
+		}
+		return total
+	}
+	if got := sumSeries("slot.accepted"); got != float64(res.Accepted) {
+		t.Errorf("slot.accepted sums to %v, want %d", got, res.Accepted)
+	}
+	if got := sumSeries("slot.rejected"); got != float64(res.TotalRequests-res.Accepted) {
+		t.Errorf("slot.rejected sums to %v, want %d", got, res.TotalRequests-res.Accepted)
+	}
+	revSeries := snap.TimeSeries["slot.revenue_cum"]
+	if got := revSeries.Last(); math.Abs(got-res.Revenue) > 1e-9*(1+math.Abs(res.Revenue)) {
+		t.Errorf("slot.revenue_cum ends at %v, want %v", got, res.Revenue)
+	}
+	for i := 1; i < len(revSeries.Values); i++ {
+		if revSeries.Values[i] < revSeries.Values[i-1] {
+			t.Fatalf("cumulative revenue decreased at slot %d", i)
+		}
+	}
+	for t2 := 0; t2 < horizon; t2++ {
+		if got := snap.TimeSeries["slot.depleted_sats"].Values[t2]; got != float64(res.DepletedPerSlot[t2]) {
+			t.Fatalf("slot.depleted_sats[%d] = %v, want %d", t2, got, res.DepletedPerSlot[t2])
+		}
+		if got := snap.TimeSeries["slot.congested_links"].Values[t2]; got != float64(res.CongestedPerSlot[t2]) {
+			t.Fatalf("slot.congested_links[%d] = %v, want %d", t2, got, res.CongestedPerSlot[t2])
+		}
+		if got := snap.TimeSeries["slot.welfare_cum"].Values[t2]; got != res.CumulativeWelfareRatio[t2] {
+			t.Fatalf("slot.welfare_cum[%d] = %v, want %v", t2, got, res.CumulativeWelfareRatio[t2])
+		}
+	}
+	// End-of-run gauges mirror the final slot of their series.
+	if got := snap.Gauges["netstate.depleted_sats"]; got != float64(res.DepletedPerSlot[horizon-1]) {
+		t.Errorf("netstate.depleted_sats gauge = %v, want %d", got, res.DepletedPerSlot[horizon-1])
+	}
+	if got := snap.Gauges["netstate.congested_links"]; got != float64(res.CongestedPerSlot[horizon-1]) {
+		t.Errorf("netstate.congested_links gauge = %v, want %d", got, res.CongestedPerSlot[horizon-1])
+	}
+	if snap.TimeSeries["slot.energy_deficit_j"].Last() != snap.Gauges["energy.total_deficit_j"] {
+		t.Errorf("energy deficit gauge/series disagree")
+	}
+
 	// The graph/energy package instruments must be detached after Run, so
 	// a second uninstrumented run leaves the counters untouched.
 	pops := snap.Counters["graph.dijkstra.heap_pops"]
@@ -198,6 +264,49 @@ func TestRunWithObservability(t *testing.T) {
 	}
 	if got := reg.Counter("graph.dijkstra.heap_pops").Value(); got != pops {
 		t.Errorf("heap pops moved from %d to %d after an uninstrumented run", pops, got)
+	}
+}
+
+// TestSequentialRunsWithResetAreIndependent is the regression test for
+// Registry.Reset: two identical runs on one registry, reset in between,
+// must produce identical snapshots — without the reset, counters and
+// time series from the first run would bleed into the second's report.
+func TestSequentialRunsWithResetAreIndependent(t *testing.T) {
+	prov := testProvider(t)
+	rc, err := DefaultRunConfig(AlgCEAR, testWorkload(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	rc.Obs = reg
+
+	if _, err := Run(prov, rc); err != nil {
+		t.Fatal(err)
+	}
+	first := reg.Snapshot()
+	reg.Reset()
+	if _, err := Run(prov, rc); err != nil {
+		t.Fatal(err)
+	}
+	second := reg.Snapshot()
+
+	if first.Counters["sim.requests.total"] == 0 {
+		t.Fatal("instrumented run recorded nothing")
+	}
+	for _, name := range []string{"sim.requests.total", "sim.requests.accepted", "netstate.txn.commits"} {
+		if first.Counters[name] != second.Counters[name] {
+			t.Errorf("counter %s bleeds across reset: first %d, second %d",
+				name, first.Counters[name], second.Counters[name])
+		}
+	}
+	ts1, ts2 := first.TimeSeries["slot.accepted"], second.TimeSeries["slot.accepted"]
+	if ts1.Total != int64(prov.Horizon()) || ts2.Total != ts1.Total {
+		t.Errorf("slot.accepted totals %d/%d, want %d each (no accumulation)",
+			ts1.Total, ts2.Total, prov.Horizon())
+	}
+	if first.Histograms["sim.slot_seconds"].Count != second.Histograms["sim.slot_seconds"].Count {
+		t.Errorf("slot histogram bleeds across reset: %d vs %d",
+			first.Histograms["sim.slot_seconds"].Count, second.Histograms["sim.slot_seconds"].Count)
 	}
 }
 

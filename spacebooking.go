@@ -111,6 +111,12 @@ type Environment struct {
 	// environment (counters, histograms, phase timers — see internal/obs).
 	// A RunConfig that already carries its own registry keeps it.
 	Obs *obs.Registry
+	// ResetObsPerRun, when true, resets Obs at the start of every run
+	// launched through Run, so each run's snapshot (and the per-slot time
+	// series in particular) stands alone instead of accumulating across
+	// sequential per-algorithm runs. spacebench sets this: its report
+	// then describes the figure's last run, not a blend of all of them.
+	ResetObsPerRun bool
 }
 
 // DefaultEpoch is the fixed simulation start used when EnvConfig.Epoch
@@ -305,10 +311,15 @@ func (e *Environment) RunConfig(alg sim.AlgorithmKind, wl workload.Config) (sim.
 }
 
 // Run executes a single simulation run. When the environment carries an
-// observability registry and the config does not, the run inherits it.
+// observability registry and the config does not, the run inherits it —
+// reset first when ResetObsPerRun is set, so sequential runs do not
+// bleed into each other's snapshots.
 func (e *Environment) Run(rc sim.RunConfig) (*sim.Result, error) {
 	if rc.Obs == nil {
 		rc.Obs = e.Obs
+		if e.ResetObsPerRun {
+			rc.Obs.Reset()
+		}
 	}
 	return sim.Run(e.Provider, rc)
 }
