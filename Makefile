@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench-smoke obsdiff-smoke
+.PHONY: check check-race build test vet race bench-smoke obsdiff-smoke
 
 check: vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -19,6 +19,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# Full-module race gate, including the root-package integration tests
+# (parallel figure runners over the shared provider).
+check-race:
+	$(GO) test -race ./...
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

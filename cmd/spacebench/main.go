@@ -32,6 +32,7 @@ func main() {
 
 func run() int {
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium or full")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per figure (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 101, "base random seed for single-run figures")
 	numSeeds := flag.Int("seeds", len(spacebooking.DefaultSeeds), "number of seeds for the Fig. 6 error bars (1-5)")
 	csvDir := flag.String("csv", "", "directory for per-figure CSV exports (optional)")
@@ -61,8 +62,9 @@ func run() int {
 	if *reportFile != "" || *debugAddr != "" {
 		reg = obs.New()
 	}
+	var srv *obs.DebugServer
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, reg)
+		srv, err = obs.StartDebugServer(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -79,11 +81,12 @@ func run() int {
 		return 1
 	}
 	env.Obs = reg
-	// Figures run several algorithms back to back on one registry; reset
-	// between runs so one algorithm's instruments (and time series) do
-	// not bleed into the next. The report therefore snapshots the last
-	// run of the figure.
-	env.ResetObsPerRun = true
+	env.Parallelism = *parallel
+	if srv != nil {
+		// Each run gets its own registry; keep the live debug endpoints
+		// pointed at the most recently completed run.
+		env.ObsSink = srv.SetRegistry
+	}
 	if !*quiet {
 		env.Logf = func(format string, args ...interface{}) {
 			fmt.Printf("  "+format+"\n", args...)
@@ -124,7 +127,7 @@ func run() int {
 			}
 		}
 		fmt.Printf("\nall figures reproduced in %v\n", time.Since(start).Round(time.Second))
-		return writeReport(*reportFile, figure, scale, opts, time.Since(start), reg)
+		return writeReport(*reportFile, figure, scale, opts, time.Since(start), *parallel, env, reg)
 	}
 	runner, ok := runners[figure]
 	if !ok {
@@ -135,13 +138,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	return writeReport(*reportFile, figure, scale, opts, time.Since(start), reg)
+	return writeReport(*reportFile, figure, scale, opts, time.Since(start), *parallel, env, reg)
 }
 
 // writeReport emits the machine-readable run report when -report is set:
-// the effective configuration, wall time, and the full instrumentation
-// snapshot accumulated across every run the figure performed.
-func writeReport(path, figure string, scale spacebooking.Scale, opts runOpts, elapsed time.Duration, reg *obs.Registry) int {
+// the effective configuration, wall time, and the instrumentation
+// snapshot of the figure's last run (in matrix order).
+func writeReport(path, figure string, scale spacebooking.Scale, opts runOpts, elapsed time.Duration, parallel int, env *spacebooking.Environment, reg *obs.Registry) int {
 	if path == "" {
 		return 0
 	}
@@ -150,10 +153,15 @@ func writeReport(path, figure string, scale spacebooking.Scale, opts runOpts, el
 	rep.SetConfig("scale", scale.String())
 	rep.SetConfig("seed", opts.seed)
 	rep.SetConfig("num_seeds", len(opts.seeds))
-	// The registry is reset before each run, so the snapshot below
-	// covers the figure's last run only.
+	rep.SetConfig("parallel", parallel)
+	// Every run collects into its own registry; the snapshot below is
+	// the figure's last run in matrix order, matching the retired
+	// reset-per-run behaviour.
 	rep.SetConfig("obs_scope", "last_run")
 	rep.SetMetric("elapsed_seconds", elapsed.Seconds())
+	if last := env.LastObs(); last != nil {
+		reg = last
+	}
 	rep.Finish(reg)
 	if err := obs.WriteReportFile(path, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -3,6 +3,7 @@ package spacebooking
 import (
 	"fmt"
 
+	"spacebooking/internal/experiment"
 	"spacebooking/internal/metrics"
 	"spacebooking/internal/offline"
 	"spacebooking/internal/pricing"
@@ -62,21 +63,25 @@ func (e *Environment) RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 		algs = sim.PaperAlgorithms()
 	}
 
+	jobs := experiment.Matrix{Algorithms: algs, Rates: rates, Seeds: seeds}.Jobs()
+	results, err := e.runMatrix(jobs, func(_ int, j experiment.Job) (sim.RunConfig, error) {
+		return e.RunConfig(j.Algorithm, e.WorkloadConfig(j.Rate, j.Seed))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+
+	// Matrix order is algorithm-major, so results group back into
+	// (alg, rate) points exactly like the sequential triple loop did.
 	out := &Fig6Result{Rates: rates, Points: make(map[string][]SweepPoint, len(algs))}
+	idx := 0
 	for _, alg := range algs {
 		points := make([]SweepPoint, 0, len(rates))
 		for _, rate := range rates {
 			ratios := make([]float64, 0, len(seeds))
-			for _, seed := range seeds {
-				rc, err := e.RunConfig(alg, e.WorkloadConfig(rate, seed))
-				if err != nil {
-					return nil, err
-				}
-				res, err := e.Run(rc)
-				if err != nil {
-					return nil, fmt.Errorf("fig6 %s rate %v seed %d: %w", alg, rate, seed, err)
-				}
-				ratios = append(ratios, res.WelfareRatio)
+			for range seeds {
+				ratios = append(ratios, results[idx].Res.WelfareRatio)
+				idx++
 			}
 			mean, std := metrics.MeanStd(ratios)
 			points = append(points, SweepPoint{X: rate, Mean: mean, Std: std})
@@ -166,26 +171,27 @@ func (e *Environment) RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 		CongestedSeries: make(map[string][]int, len(algs)),
 		Horizon:         e.Provider.Horizon(),
 	}
+	jobs := make([]experiment.Job, 0, 2*len(algs))
 	for _, alg := range algs {
-		rc, err := e.RunConfig(alg, e.WorkloadConfig(cfg.EnergyRate, cfg.Seed))
-		if err != nil {
-			return nil, err
+		jobs = append(jobs,
+			experiment.Job{Algorithm: alg, Rate: cfg.EnergyRate, Seed: cfg.Seed, Key: "energy"},
+			experiment.Job{Algorithm: alg, Rate: cfg.CongestionRate, Seed: cfg.Seed, Key: "congestion"})
+	}
+	results, err := e.runMatrix(jobs, func(_ int, j experiment.Job) (sim.RunConfig, error) {
+		return e.RunConfig(j.Algorithm, e.WorkloadConfig(j.Rate, j.Seed))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	for _, r := range results {
+		switch r.Job.Key {
+		case "energy":
+			out.DepletedSeries[r.Job.Algorithm.String()] = r.Res.DepletedPerSlot
+		case "congestion":
+			out.CongestedSeries[r.Job.Algorithm.String()] = r.Res.CongestedPerSlot
 		}
-		res, err := e.Run(rc)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 energy %s: %w", alg, err)
-		}
-		out.DepletedSeries[alg.String()] = res.DepletedPerSlot
-
-		rc, err = e.RunConfig(alg, e.WorkloadConfig(cfg.CongestionRate, cfg.Seed))
-		if err != nil {
-			return nil, err
-		}
-		res, err = e.Run(rc)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 congestion %s: %w", alg, err)
-		}
-		out.CongestedSeries[alg.String()] = res.CongestedPerSlot
+	}
+	for _, alg := range algs {
 		e.logf("fig7 %-8s mean depleted %.2f, mean congested %.2f",
 			alg, meanInts(out.DepletedSeries[alg.String()]), meanInts(out.CongestedSeries[alg.String()]))
 	}
@@ -264,17 +270,16 @@ func (e *Environment) RunFig8(cfg Fig8Config) (*Fig8Result, error) {
 		algs = sim.PaperAlgorithms()
 	}
 	out := &Fig8Result{Series: make(map[string][]float64, len(algs)), Horizon: e.Provider.Horizon()}
-	for _, alg := range algs {
-		rc, err := e.RunConfig(alg, e.WorkloadConfig(cfg.Rate, cfg.Seed))
-		if err != nil {
-			return nil, err
-		}
-		res, err := e.Run(rc)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", alg, err)
-		}
-		out.Series[alg.String()] = res.CumulativeWelfareRatio
-		e.logf("fig8 %-8s final cumulative welfare %.3f", alg, res.WelfareRatio)
+	jobs := experiment.Matrix{Algorithms: algs, Rates: []float64{cfg.Rate}, Seeds: []int64{cfg.Seed}}.Jobs()
+	results, err := e.runMatrix(jobs, func(_ int, j experiment.Job) (sim.RunConfig, error) {
+		return e.RunConfig(j.Algorithm, e.WorkloadConfig(j.Rate, j.Seed))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	for _, r := range results {
+		out.Series[r.Job.Algorithm.String()] = r.Res.CumulativeWelfareRatio
+		e.logf("fig8 %-8s final cumulative welfare %.3f", r.Job.Algorithm, r.Res.WelfareRatio)
 	}
 	return out, nil
 }
@@ -342,44 +347,71 @@ func (e *Environment) RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 		seeds = DefaultSeeds[:2]
 	}
 
+	// Both sweeps share one job list so the scheduler can overlap them.
+	// The sweep value is not expressible as Job.Rate, so the builder
+	// recovers it from the job index: valuation jobs come first, F2 jobs
+	// after, each seed-minor like Matrix.Jobs.
+	f2Params := make([]pricing.Params, len(cfg.F2Values))
+	for i, f2 := range cfg.F2Values {
+		params, err := pricing.Derive(1, f2, 20, 10)
+		if err != nil {
+			return nil, err
+		}
+		f2Params[i] = params
+	}
+	numValJobs := len(cfg.Valuations) * len(seeds)
+	jobs := make([]experiment.Job, 0, numValJobs+len(cfg.F2Values)*len(seeds))
+	for _, v := range cfg.Valuations {
+		for _, seed := range seeds {
+			jobs = append(jobs, experiment.Job{
+				Algorithm: sim.AlgCEAR, Rate: cfg.Rate, Seed: seed,
+				Key: fmt.Sprintf("valuation=%g", v),
+			})
+		}
+	}
+	for _, f2 := range cfg.F2Values {
+		for _, seed := range seeds {
+			jobs = append(jobs, experiment.Job{
+				Algorithm: sim.AlgCEAR, Rate: cfg.Rate, Seed: seed,
+				Key: fmt.Sprintf("F2=%g", f2),
+			})
+		}
+	}
+	results, err := e.runMatrix(jobs, func(i int, j experiment.Job) (sim.RunConfig, error) {
+		wl := e.WorkloadConfig(j.Rate, j.Seed)
+		if i < numValJobs {
+			wl.Valuation = cfg.Valuations[i/len(seeds)]
+		}
+		rc, err := e.RunConfig(sim.AlgCEAR, wl)
+		if err != nil {
+			return sim.RunConfig{}, err
+		}
+		if i >= numValJobs {
+			rc.Pricing = f2Params[(i-numValJobs)/len(seeds)]
+		}
+		return rc, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+
 	out := &Fig9Result{}
+	idx := 0
 	for _, valuation := range cfg.Valuations {
 		ratios := make([]float64, 0, len(seeds))
-		for _, seed := range seeds {
-			wl := e.WorkloadConfig(cfg.Rate, seed)
-			wl.Valuation = valuation
-			rc, err := e.RunConfig(sim.AlgCEAR, wl)
-			if err != nil {
-				return nil, err
-			}
-			res, err := e.Run(rc)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 valuation %v: %w", valuation, err)
-			}
-			ratios = append(ratios, res.WelfareRatio)
+		for range seeds {
+			ratios = append(ratios, results[idx].Res.WelfareRatio)
+			idx++
 		}
 		mean, std := metrics.MeanStd(ratios)
 		out.ValuationSweep = append(out.ValuationSweep, SweepPoint{X: valuation, Mean: mean, Std: std})
 		e.logf("fig9 valuation %-8.3g welfare %.3f ± %.3f", valuation, mean, std)
 	}
-
 	for _, f2 := range cfg.F2Values {
-		params, err := pricing.Derive(1, f2, 20, 10)
-		if err != nil {
-			return nil, err
-		}
 		ratios := make([]float64, 0, len(seeds))
-		for _, seed := range seeds {
-			rc, err := e.RunConfig(sim.AlgCEAR, e.WorkloadConfig(cfg.Rate, seed))
-			if err != nil {
-				return nil, err
-			}
-			rc.Pricing = params
-			res, err := e.Run(rc)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 F2 %v: %w", f2, err)
-			}
-			ratios = append(ratios, res.WelfareRatio)
+		for range seeds {
+			ratios = append(ratios, results[idx].Res.WelfareRatio)
+			idx++
 		}
 		mean, std := metrics.MeanStd(ratios)
 		out.F2Sweep = append(out.F2Sweep, SweepPoint{X: f2, Mean: mean, Std: std})
@@ -427,24 +459,24 @@ func (e *Environment) RunAblations(seed int64) (*AblationResult, error) {
 		seed = DefaultSeeds[0]
 	}
 	variants := []sim.AlgorithmKind{sim.AlgCEAR, sim.AlgCEARNoEnergy, sim.AlgCEARNoAdmission, sim.AlgCEARLinear, sim.AlgCEARAdaptive}
+	jobs := experiment.Matrix{Algorithms: variants, Rates: []float64{2 * e.arrivalRate}, Seeds: []int64{seed}}.Jobs()
+	results, err := e.runMatrix(jobs, func(_ int, j experiment.Job) (sim.RunConfig, error) {
+		return e.RunConfig(j.Algorithm, e.WorkloadConfig(j.Rate, j.Seed))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
 	out := &AblationResult{Rows: make(map[string]AblationRow, len(variants))}
-	for _, alg := range variants {
-		rc, err := e.RunConfig(alg, e.WorkloadConfig(2*e.arrivalRate, seed))
-		if err != nil {
-			return nil, err
-		}
-		res, err := e.Run(rc)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", alg, err)
-		}
-		out.Rows[alg.String()] = AblationRow{
+	for _, r := range results {
+		res := r.Res
+		out.Rows[r.Job.Algorithm.String()] = AblationRow{
 			WelfareRatio:  res.WelfareRatio,
 			MeanDepleted:  res.MeanDepleted(),
 			MeanCongested: res.MeanCongested(),
 			Revenue:       res.Revenue,
 		}
 		e.logf("ablation %-9s welfare %.3f depleted %.2f congested %.2f",
-			alg, res.WelfareRatio, res.MeanDepleted(), res.MeanCongested())
+			r.Job.Algorithm, res.WelfareRatio, res.MeanDepleted(), res.MeanCongested())
 	}
 	return out, nil
 }
@@ -562,23 +594,20 @@ func (e *Environment) RunAdaptiveComparison(seed int64) (*AdaptiveResult, error)
 	if err != nil {
 		return nil, err
 	}
-	run := func(alg sim.AlgorithmKind) (*sim.Result, error) {
-		wl := e.WorkloadConfig(2*e.arrivalRate, seed)
+	jobs := experiment.Matrix{
+		Algorithms: []sim.AlgorithmKind{sim.AlgCEAR, sim.AlgCEARAdaptive},
+		Rates:      []float64{2 * e.arrivalRate},
+		Seeds:      []int64{seed},
+	}.Jobs()
+	results, err := e.runMatrix(jobs, func(_ int, j experiment.Job) (sim.RunConfig, error) {
+		wl := e.WorkloadConfig(j.Rate, j.Seed)
 		wl.RateProfile = profile
-		rc, err := e.RunConfig(alg, wl)
-		if err != nil {
-			return nil, err
-		}
-		return e.Run(rc)
-	}
-	static, err := run(sim.AlgCEAR)
+		return e.RunConfig(j.Algorithm, wl)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("adaptive comparison (static): %w", err)
+		return nil, fmt.Errorf("adaptive comparison: %w", err)
 	}
-	adaptiveRes, err := run(sim.AlgCEARAdaptive)
-	if err != nil {
-		return nil, fmt.Errorf("adaptive comparison (adaptive): %w", err)
-	}
+	static, adaptiveRes := results[0].Res, results[1].Res
 	out := &AdaptiveResult{
 		StaticWelfare:    static.WelfareRatio,
 		AdaptiveWelfare:  adaptiveRes.WelfareRatio,

@@ -303,45 +303,87 @@ func TestAdaptiveControllerEndToEnd(t *testing.T) {
 	}
 }
 
-// TestEnvironmentResetObsPerRun: with the spacebench setting on, two
-// sequential per-algorithm runs through one environment registry must
-// leave a snapshot describing only the last run — no accumulation of
-// counters or per-slot time series across runs.
-func TestEnvironmentResetObsPerRun(t *testing.T) {
+// TestEnvironmentLastObs: figure runners give every run its own
+// registry; LastObs must return the final run's registry (matrix order),
+// and its snapshot must describe that run alone — no accumulation of
+// counters or per-slot time series across the figure's runs.
+func TestEnvironmentLastObs(t *testing.T) {
 	env := smallEnv(t)
-	reg := obs.New()
-	env.Obs = reg
-	env.ResetObsPerRun = true
+	env.Obs = obs.New()
+	var sunk []*obs.Registry
+	env.ObsSink = func(r *obs.Registry) { sunk = append(sunk, r) }
 	defer func() {
 		env.Obs = nil
-		env.ResetObsPerRun = false
+		env.ObsSink = nil
 	}()
 
-	runTotal := func(alg sim.AlgorithmKind) int64 {
-		wl := env.WorkloadConfig(env.DefaultArrivalRate(), 7)
-		rc, err := env.RunConfig(alg, wl)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := env.Run(rc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		snap := reg.Snapshot()
-		if got := snap.Counters["sim.requests.total"]; got != int64(res.TotalRequests) {
-			t.Errorf("%s: sim.requests.total = %d, want %d (previous run bled in)",
-				alg, got, res.TotalRequests)
-		}
-		horizon := int64(env.Provider.Horizon())
-		if got := snap.TimeSeries["slot.accepted"].Total; got != horizon {
-			t.Errorf("%s: slot.accepted has %d samples, want %d", alg, got, horizon)
-		}
-		return snap.Counters["sim.requests.total"]
+	if env.LastObs() != nil {
+		t.Fatal("LastObs non-nil before any run")
 	}
-	first := runTotal(sim.AlgCEAR)
-	second := runTotal(sim.AlgSSP)
-	if first == 0 || second == 0 {
+	if _, err := env.RunFig8(Fig8Config{
+		Seed:       7,
+		Algorithms: []sim.AlgorithmKind{sim.AlgCEAR, sim.AlgSSP},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	last := env.LastObs()
+	if last == nil {
+		t.Fatal("LastObs nil after an observed figure")
+	}
+	if last == env.Obs {
+		t.Fatal("LastObs returned the shared environment registry; runs must get their own")
+	}
+	snap := last.Snapshot()
+	if snap.Counters["sim.requests.total"] == 0 {
 		t.Fatal("instrumented runs recorded nothing")
+	}
+	horizon := int64(env.Provider.Horizon())
+	if got := snap.TimeSeries["slot.accepted"].Total; got != horizon {
+		t.Errorf("slot.accepted has %d samples, want %d (another run bled in)", got, horizon)
+	}
+	if len(sunk) != 2 {
+		t.Fatalf("ObsSink saw %d registries, want 2", len(sunk))
+	}
+	if sunk[0] == sunk[1] {
+		t.Fatal("ObsSink received the same registry twice")
+	}
+	// LastObs is the last run in *matrix* order, whatever the
+	// completion order was.
+	if last != sunk[0] && last != sunk[1] {
+		t.Fatal("LastObs is not one of the run registries")
+	}
+}
+
+// TestParallelFiguresDeterministic: a figure swept with Parallelism 1
+// and Parallelism 8 must produce identical per-cell values — each run
+// owns its state and RNG, so scheduling order cannot leak into results.
+func TestParallelFiguresDeterministic(t *testing.T) {
+	env := smallEnv(t)
+	cfg := Fig6Config{
+		Rates:      []float64{env.DefaultArrivalRate()},
+		Seeds:      []int64{7, 42},
+		Algorithms: []sim.AlgorithmKind{sim.AlgCEAR, sim.AlgSSP, sim.AlgECARS},
+	}
+	env.Parallelism = 1
+	seq, err := env.RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Parallelism = 8
+	defer func() { env.Parallelism = 0 }()
+	par, err := env.RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range cfg.Algorithms {
+		name := alg.String()
+		for i := range seq.Points[name] {
+			s, p := seq.Points[name][i], par.Points[name][i]
+			if s != p {
+				t.Errorf("%s point %d: sequential %+v vs parallel %+v", name, i, s, p)
+			}
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ type Battery struct {
 	// empty instead of rejecting infeasible consumption. CEAR batteries
 	// run with clamp=false and enforce b_s(T) >= 0 (constraint (7c)).
 	clamp bool
+	instr *Instruments
 }
 
 // NewBattery builds a ledger with the given capacity (joules) and
@@ -57,6 +58,11 @@ func NewBattery(capacityJ float64, solarInputJ []float64, clamp bool) (*Battery,
 		clamp:          clamp,
 	}, nil
 }
+
+// Instrument attaches (or with nil, detaches) the counters this ledger
+// advances. Plain field write: attach before the run starts. Clones
+// inherit the handle, so trial ledgers count into the same registry.
+func (b *Battery) Instrument(in *Instruments) { b.instr = in }
 
 // Horizon returns the number of slots the ledger covers.
 func (b *Battery) Horizon() int { return len(b.deficit) }
@@ -126,7 +132,7 @@ func (b *Battery) SolarRemainingAt(t int) float64 {
 // second term sums price(t)·Ω̄(ta,t) over the deficit's lifetime) and
 // feasibility checks.
 func (b *Battery) VisitDeficit(ta int, joules float64, fn func(t int, outstanding float64) bool) {
-	countDeficitWalk()
+	b.instr.countDeficitWalk()
 	if joules <= 0 || ta < 0 || ta >= len(b.deficit) {
 		return
 	}
@@ -206,7 +212,7 @@ func (b *Battery) Consume(ta int, joules float64) error {
 		return &DepletionError{Slot: failSlot, DeficitJ: failDeficit, CapacityJ: b.capacityJ}
 	}
 
-	countConsume()
+	b.instr.countConsume()
 	remaining := joules
 	for t := ta; t < len(b.deficit); t++ {
 		absorb := math.Min(remaining, b.solarRemaining[t])
@@ -245,6 +251,7 @@ func (b *Battery) Clone() *Battery {
 		solarRemaining: solar,
 		deficit:        deficit,
 		clamp:          b.clamp,
+		instr:          b.instr,
 	}
 }
 

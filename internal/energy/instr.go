@@ -1,15 +1,13 @@
 package energy
 
-import (
-	"sync/atomic"
+import "spacebooking/internal/obs"
 
-	"spacebooking/internal/obs"
-)
-
-// Instruments holds the package's observability counters. Batteries are
-// constructed (and cloned) per satellite by netstate, so instruments
-// attach at package level — sim wires them when a run carries a
-// registry — and count across every ledger.
+// Instruments holds the package's observability counters. There is no
+// package-global attachment point: netstate attaches one handle per
+// State (to every battery it builds), so concurrent runs count into
+// their own registries. Clones carry the parent's handle — a trial
+// consumption counts like a committed one, matching the accounting the
+// ledgers had when instruments were global.
 type Instruments struct {
 	// DeficitWalks counts VisitDeficit invocations — the primitive
 	// behind CEAR's deficit pricing and every feasibility check.
@@ -18,24 +16,19 @@ type Instruments struct {
 	Consumptions *obs.Counter
 }
 
-// instruments is read with one atomic load per call site.
-var instruments atomic.Pointer[Instruments]
-
-// SetInstruments attaches (or with nil, detaches) the package counters.
-// Safe to call concurrently with ledger operations.
-func SetInstruments(in *Instruments) { instruments.Store(in) }
-
 // countDeficitWalk counts one VisitDeficit call; a single branch when
-// instruments are detached.
-func countDeficitWalk() {
-	if in := instruments.Load(); in != nil {
-		in.DeficitWalks.Inc()
+// the battery carries no instruments.
+func (in *Instruments) countDeficitWalk() {
+	if in == nil {
+		return
 	}
+	in.DeficitWalks.Inc()
 }
 
 // countConsume counts one committed consumption.
-func countConsume() {
-	if in := instruments.Load(); in != nil {
-		in.Consumptions.Inc()
+func (in *Instruments) countConsume() {
+	if in == nil {
+		return
 	}
+	in.Consumptions.Inc()
 }

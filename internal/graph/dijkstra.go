@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -11,18 +10,69 @@ type item struct {
 	dist  float64
 }
 
-type priorityQueue []item
+// searchHeap is a typed binary min-heap over items, ordered by dist.
+// It replaces container/heap: pushes and pops move concrete structs (no
+// interface{} boxing, so no per-push allocation), and the backing slice
+// is preallocated once per search — and reused across the many spur
+// searches of one Yen call.
+type searchHeap struct {
+	items []item
+}
 
-func (pq priorityQueue) Len() int            { return len(pq) }
-func (pq priorityQueue) Less(i, j int) bool  { return pq[i].dist < pq[j].dist }
-func (pq priorityQueue) Swap(i, j int)       { pq[i], pq[j] = pq[j], pq[i] }
-func (pq *priorityQueue) Push(x interface{}) { *pq = append(*pq, x.(item)) }
-func (pq *priorityQueue) Pop() interface{} {
-	old := *pq
-	n := len(old)
-	it := old[n-1]
-	*pq = old[:n-1]
-	return it
+// heapSizeHint bounds the initial heap allocation: enough for every
+// (node, in-class) state of small graphs, capped so huge graphs do not
+// pay for capacity the search never uses (append grows it on demand).
+func heapSizeHint(n int) int {
+	const maxHint = 4096
+	if h := n * numClasses; h < maxHint {
+		return h
+	}
+	return maxHint
+}
+
+func newSearchHeap(capHint int) *searchHeap {
+	return &searchHeap{items: make([]item, 0, capHint)}
+}
+
+func (h *searchHeap) reset() { h.items = h.items[:0] }
+
+func (h *searchHeap) empty() bool { return len(h.items) == 0 }
+
+func (h *searchHeap) push(it item) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *searchHeap) pop() item {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.items[r].dist < h.items[l].dist {
+			child = r
+		}
+		if h.items[i].dist <= h.items[child].dist {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+	return top
 }
 
 // predLink records how a search state was reached.
@@ -44,6 +94,13 @@ type predLink struct {
 // Edges with +Inf cost and node transits with +Inf cost are skipped.
 // The second return value is false when dst is unreachable.
 func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, bool) {
+	return shortestPath(g, src, dst, transit, nil)
+}
+
+// shortestPath is ShortestPath with an optional caller-owned heap: Yen
+// allocates one and reuses it across every spur search of its loop. A
+// nil heap allocates a fresh one.
+func shortestPath(g Adjacency, src, dst int, transit TransitCostFunc, pq *searchHeap) (Path, bool) {
 	n := g.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return Path{}, false
@@ -51,7 +108,7 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
-	in := instruments.Load()
+	in := instrumentsOf(g)
 	var pops int64
 
 	// State encoding: node*numClasses + int(inClass).
@@ -67,10 +124,15 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 
 	start := src*numClasses + int(ClassNone)
 	dist[start] = 0
-	pq := priorityQueue{{state: start, dist: 0}}
+	if pq == nil {
+		pq = newSearchHeap(heapSizeHint(n))
+	} else {
+		pq.reset()
+	}
+	pq.push(item{state: start, dist: 0})
 
-	for len(pq) > 0 {
-		cur := heap.Pop(&pq).(item)
+	for !pq.empty() {
+		cur := pq.pop()
 		pops++
 		if cur.dist > dist[cur.state] {
 			continue // stale entry
@@ -101,7 +163,7 @@ func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, boo
 			if nd := cur.dist + w; nd < dist[nextState] {
 				dist[nextState] = nd
 				prev[nextState] = predLink{state: cur.state, edge: e}
-				heap.Push(&pq, item{state: nextState, dist: nd})
+				pq.push(item{state: nextState, dist: nd})
 			}
 			return true
 		})
@@ -153,7 +215,7 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
-	in := instruments.Load()
+	in := instrumentsOf(g)
 
 	numStates := n * numClasses
 	const inf = math.MaxFloat64

@@ -51,7 +51,8 @@ type Adjacency interface {
 // Graph is a directed graph over nodes 0..N-1 with explicit adjacency
 // lists. It implements Adjacency.
 type Graph struct {
-	adj [][]Edge
+	adj   [][]Edge
+	instr *Instruments
 }
 
 var _ Adjacency = (*Graph)(nil)
@@ -63,6 +64,14 @@ func New(n int) *Graph {
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
+
+// Instrument attaches (or with nil, detaches) the counters that searches
+// over this graph advance. Plain field write: attach before sharing the
+// graph across goroutines.
+func (g *Graph) Instrument(in *Instruments) { g.instr = in }
+
+// Instruments implements Instrumented.
+func (g *Graph) Instruments() *Instruments { return g.instr }
 
 // NumEdges returns the number of directed edges.
 func (g *Graph) NumEdges() int {

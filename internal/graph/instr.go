@@ -1,16 +1,13 @@
 package graph
 
-import (
-	"sync/atomic"
+import "spacebooking/internal/obs"
 
-	"spacebooking/internal/obs"
-)
-
-// Instruments holds the package's observability counters. The search
-// functions are package-level (no receiver to hang a registry on) and
-// sit at the bottom of every admission decision, so instruments attach
-// globally: sim wires them when a run carries a registry, and they
-// count across all callers (CEAR, baselines, Yen) until replaced.
+// Instruments holds the package's observability counters. There is no
+// package-global attachment point: each run threads its own handle, so
+// concurrent searches over different states never write each other's
+// counters. Explicit graphs carry a handle via (*Graph).Instrument;
+// implicit adjacencies (like netstate.View) expose one through the
+// optional Instrumented interface, which the searches probe at entry.
 type Instruments struct {
 	// HeapPops counts priority-queue pops in Dijkstra searches.
 	HeapPops *obs.Counter
@@ -21,13 +18,21 @@ type Instruments struct {
 	YenSpurIterations *obs.Counter
 }
 
-// instruments is read per search call (one atomic load), never per pop.
-var instruments atomic.Pointer[Instruments]
+// Instrumented is the optional interface an Adjacency implements to
+// route search counters somewhere. A nil return keeps the searches on
+// their no-op branches.
+type Instrumented interface {
+	Instruments() *Instruments
+}
 
-// SetInstruments attaches (or with nil, detaches) the package counters.
-// Safe to call concurrently with running searches: in-flight searches
-// finish counting into whichever instruments they loaded at entry.
-func SetInstruments(in *Instruments) { instruments.Store(in) }
+// instrumentsOf extracts the adjacency's instruments, if it carries
+// any. One interface type-assertion per search call, never per pop.
+func instrumentsOf(g Adjacency) *Instruments {
+	if h, ok := g.(Instrumented); ok {
+		return h.Instruments()
+	}
+	return nil
+}
 
 // searchDone flushes one search's locally accumulated pop count.
 // Searches tally pops into a stack int and flush once per call, so the

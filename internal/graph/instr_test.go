@@ -19,14 +19,13 @@ func lineGraph(t *testing.T, n int) *Graph {
 }
 
 func TestSearchInstruments(t *testing.T) {
-	defer SetInstruments(nil)
 	reg := obs.New()
 	pops := reg.Counter("graph.dijkstra.heap_pops")
 	relax := reg.Counter("graph.dijkstra.edge_relaxations")
 	spurs := reg.Counter("graph.yen.spur_iterations")
-	SetInstruments(&Instruments{HeapPops: pops, EdgeRelaxations: relax, YenSpurIterations: spurs})
 
 	g := lineGraph(t, 6)
+	g.Instrument(&Instruments{HeapPops: pops, EdgeRelaxations: relax, YenSpurIterations: spurs})
 	if _, ok := g.ShortestPath(0, 5, nil); !ok {
 		t.Fatal("path not found")
 	}
@@ -50,12 +49,37 @@ func TestSearchInstruments(t *testing.T) {
 	}
 }
 
+// TestInstrumentsAreHandleLocal verifies the concurrency contract of the
+// explicit-handle design: searches over a graph advance only the handle
+// that graph carries, so two graphs wired to different registries never
+// cross-count — and a detached graph counts nothing.
+func TestInstrumentsAreHandleLocal(t *testing.T) {
+	regA, regB := obs.New(), obs.New()
+	a := lineGraph(t, 6)
+	a.Instrument(&Instruments{HeapPops: regA.Counter("pops")})
+	b := lineGraph(t, 6)
+	b.Instrument(&Instruments{HeapPops: regB.Counter("pops")})
+	plain := lineGraph(t, 6)
+
+	if _, ok := a.ShortestPath(0, 5, nil); !ok {
+		t.Fatal("path not found")
+	}
+	if _, ok := plain.ShortestPath(0, 5, nil); !ok {
+		t.Fatal("path not found")
+	}
+	if got := regA.Counter("pops").Value(); got == 0 {
+		t.Fatal("instrumented graph did not count")
+	}
+	if got := regB.Counter("pops").Value(); got != 0 {
+		t.Fatalf("graph B's registry advanced by %d from another graph's search", got)
+	}
+}
+
 // TestInstrumentedSearchAllocParity verifies the acceptance criterion
 // that instrumentation adds no allocations to the search hot path: the
 // per-search allocation count is identical with instruments detached
 // (the nil fast path) and attached.
 func TestInstrumentedSearchAllocParity(t *testing.T) {
-	defer SetInstruments(nil)
 	g := lineGraph(t, 16)
 	search := func() {
 		if _, ok := g.ShortestPath(0, 15, nil); !ok {
@@ -63,10 +87,10 @@ func TestInstrumentedSearchAllocParity(t *testing.T) {
 		}
 	}
 
-	SetInstruments(nil)
+	g.Instrument(nil)
 	detached := testing.AllocsPerRun(200, search)
 	reg := obs.New()
-	SetInstruments(&Instruments{
+	g.Instrument(&Instruments{
 		HeapPops:          reg.Counter("pops"),
 		EdgeRelaxations:   reg.Counter("relax"),
 		YenSpurIterations: reg.Counter("spurs"),

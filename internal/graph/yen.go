@@ -16,7 +16,10 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 	if k <= 0 {
 		return nil
 	}
-	first, ok := ShortestPath(g, src, dst, transit)
+	in := instrumentsOf(g)
+	// One heap serves the initial search and every spur search below.
+	pq := newSearchHeap(heapSizeHint(g.N()))
+	first, ok := shortestPath(g, src, dst, transit, pq)
 	if !ok {
 		return nil
 	}
@@ -48,7 +51,7 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 				mask.banNode(n)
 			}
 
-			spurPath, ok := ShortestPath(mask, spurNode, dst, transit)
+			spurPath, ok := shortestPath(mask, spurNode, dst, transit, pq)
 			if !ok {
 				continue
 			}
@@ -65,7 +68,7 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}
-	instruments.Load().spurDone(spurs)
+	in.spurDone(spurs)
 	return paths
 }
 
@@ -100,6 +103,10 @@ func (m *maskedAdjacency) banEdge(from, to int, payload int32) {
 }
 
 func (m *maskedAdjacency) N() int { return m.base.N() }
+
+// Instruments forwards the base adjacency's instruments, so spur
+// searches over the mask count into the same handle as the outer search.
+func (m *maskedAdjacency) Instruments() *Instruments { return instrumentsOf(m.base) }
 
 func (m *maskedAdjacency) VisitNeighbors(node int, fn func(Edge) bool) {
 	if m.bannedNodes[node] {

@@ -132,11 +132,20 @@ type stateInstruments struct {
 	txnRollbacks  *obs.Counter
 	linkReserves  *obs.Counter
 	trialConsumes *obs.Counter
+	// graph is handed to every search run over this state's Views;
+	// energy is attached to every battery. Both are per-State handles —
+	// this is what lets concurrent runs on a shared provider count into
+	// their own registries.
+	graph  *graph.Instruments
+	energy *energy.Instruments
 }
 
 // SetObs attaches observability counters from the registry (nil is a
 // no-op). Call before the run starts; the State is single-owner, so the
-// handles are plain fields.
+// handles are plain fields. The graph-search and battery instruments
+// are built here too and threaded down explicitly: Views expose the
+// graph handle to the searches, and every battery (including clones the
+// trial paths make) carries the energy handle.
 func (s *State) SetObs(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -146,8 +155,24 @@ func (s *State) SetObs(reg *obs.Registry) {
 		txnRollbacks:  reg.Counter("netstate.txn.rollbacks"),
 		linkReserves:  reg.Counter("netstate.link.reservations"),
 		trialConsumes: reg.Counter("netstate.trial_consumes"),
+		graph: &graph.Instruments{
+			HeapPops:          reg.Counter("graph.dijkstra.heap_pops"),
+			EdgeRelaxations:   reg.Counter("graph.edge_relaxations"),
+			YenSpurIterations: reg.Counter("graph.yen.spur_iterations"),
+		},
+		energy: &energy.Instruments{
+			DeficitWalks: reg.Counter("energy.deficit_walks"),
+			Consumptions: reg.Counter("energy.consumptions"),
+		},
+	}
+	for _, b := range s.batteries {
+		b.Instrument(s.instr.energy)
 	}
 }
+
+// GraphInstruments returns the search counters of this state (nil when
+// no registry is attached). Views forward it to the searches.
+func (s *State) GraphInstruments() *graph.Instruments { return s.instr.graph }
 
 // New builds the resource state: empty link ledgers and one battery per
 // broadband satellite, with solar input derived from the satellite's

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,36 +14,62 @@ import (
 // -debug-addr flag: net/http/pprof for CPU/heap/goroutine profiling of
 // long full-scale runs, plus /metrics.json serving the registry
 // snapshot. It binds eagerly (so a bad address fails fast) and serves
-// in the background until Close.
+// in the background until Close. SetRegistry repoints the metrics
+// endpoints at a different registry mid-flight — parallel experiment
+// drivers use it to expose the most recently completed run.
 type DebugServer struct {
-	srv  *http.Server
-	addr string
+	srv    *http.Server
+	addr   string
+	holder *regHolder
 }
+
+// regHolder is the swappable registry behind a live mux.
+type regHolder struct {
+	p atomic.Pointer[Registry]
+}
+
+func (h *regHolder) get() *Registry { return h.p.Load() }
 
 // NewDebugMux builds the handler tree: /debug/pprof/*, /metrics.json
 // (expvar-style snapshot), /metrics (Prometheus text exposition) and
 // /timeseries.json (per-slot telemetry). Exposed separately so embedding
 // applications can mount it on their own server.
 func NewDebugMux(reg *Registry) *http.ServeMux {
+	h := &regHolder{}
+	h.p.Store(reg)
+	return newDebugMux(h)
+}
+
+func newDebugMux(holder *regHolder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+	withReg := func(serve func(w http.ResponseWriter, reg *Registry)) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			reg := holder.get()
+			if reg == nil {
+				http.Error(w, "no registry attached yet", http.StatusServiceUnavailable)
+				return
+			}
+			serve(w, reg)
+		}
+	}
+	mux.HandleFunc("/metrics.json", withReg(func(w http.ResponseWriter, reg *Registry) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/metrics", withReg(func(w http.ResponseWriter, reg *Registry) {
 		w.Header().Set("Content-Type", PromContentType)
 		if err := reg.WriteProm(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-	})
-	mux.HandleFunc("/timeseries.json", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/timeseries.json", withReg(func(w http.ResponseWriter, reg *Registry) {
 		w.Header().Set("Content-Type", "application/json")
 		ts := reg.Snapshot().TimeSeries
 		if ts == nil {
@@ -53,7 +80,7 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 		if err := enc.Encode(ts); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-	})
+	}))
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -76,16 +103,22 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
+	holder := &regHolder{}
+	holder.p.Store(reg)
 	srv := &http.Server{
-		Handler:           NewDebugMux(reg),
+		Handler:           newDebugMux(holder),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(lis) //nolint:errcheck // always returns ErrServerClosed after Close
-	return &DebugServer{srv: srv, addr: lis.Addr().String()}, nil
+	return &DebugServer{srv: srv, addr: lis.Addr().String(), holder: holder}, nil
 }
 
 // Addr returns the bound listen address.
 func (d *DebugServer) Addr() string { return d.addr }
+
+// SetRegistry atomically repoints the metrics endpoints at reg.
+// In-flight requests finish against the registry they started with.
+func (d *DebugServer) SetRegistry(reg *Registry) { d.holder.p.Store(reg) }
 
 // Close stops the server.
 func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -14,8 +14,6 @@ import (
 	"spacebooking/internal/adaptive"
 	"spacebooking/internal/baselines"
 	"spacebooking/internal/core"
-	"spacebooking/internal/energy"
-	"spacebooking/internal/graph"
 	"spacebooking/internal/netstate"
 	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
@@ -129,8 +127,9 @@ type RunConfig struct {
 	// decision plus per-slot network snapshots.
 	Trace *trace.Writer
 	// Obs, when non-nil, collects phase timings, admission counters and
-	// hot-path statistics for this run; the graph and energy package
-	// instruments are attached for the run's duration. Nil keeps every
+	// hot-path statistics for this run. The graph-search and energy
+	// counters are threaded through the run's own State, so concurrent
+	// runs with distinct registries never cross-count. Nil keeps every
 	// instrumented path on its no-op (allocation-free) branch.
 	Obs *obs.Registry
 }
@@ -260,23 +259,6 @@ func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *n
 	}
 }
 
-// attachInstruments wires the package-level instruments of the leaf
-// layers (graph searches, energy ledgers) into the run's registry.
-// Instruments are global — the search functions have no receiver to
-// carry a registry — so concurrent runs that both pass a registry
-// last-write-win; counts are merged, never racy.
-func attachInstruments(reg *obs.Registry) {
-	graph.SetInstruments(&graph.Instruments{
-		HeapPops:          reg.Counter("graph.dijkstra.heap_pops"),
-		EdgeRelaxations:   reg.Counter("graph.edge_relaxations"),
-		YenSpurIterations: reg.Counter("graph.yen.spur_iterations"),
-	})
-	energy.SetInstruments(&energy.Instruments{
-		DeficitWalks: reg.Counter("energy.deficit_walks"),
-		Consumptions: reg.Counter("energy.consumptions"),
-	})
-}
-
 // classifyReason maps a rejection reason to a stable category.
 func classifyReason(reason string) string {
 	switch {
@@ -302,12 +284,6 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("sim: thresholds must be positive (congestion %v, depletion %v)",
 			rc.CongestionThresholdFrac, rc.DepletionThresholdFrac)
 	}
-	if rc.Obs != nil {
-		attachInstruments(rc.Obs)
-		defer graph.SetInstruments(nil)
-		defer energy.SetInstruments(nil)
-	}
-
 	wlSpan := rc.Obs.StartPhase("workload_generate")
 	reqs, err := workload.Generate(rc.Workload)
 	wlSpan.End()

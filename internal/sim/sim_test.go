@@ -255,8 +255,8 @@ func TestRunWithObservability(t *testing.T) {
 		t.Errorf("energy deficit gauge/series disagree")
 	}
 
-	// The graph/energy package instruments must be detached after Run, so
-	// a second uninstrumented run leaves the counters untouched.
+	// Instruments are threaded through each run's own state, so a second
+	// uninstrumented run leaves the first run's counters untouched.
 	pops := snap.Counters["graph.dijkstra.heap_pops"]
 	rc.Obs = nil
 	if _, err := Run(prov, rc); err != nil {
@@ -307,6 +307,93 @@ func TestSequentialRunsWithResetAreIndependent(t *testing.T) {
 	if first.Histograms["sim.slot_seconds"].Count != second.Histograms["sim.slot_seconds"].Count {
 		t.Errorf("slot histogram bleeds across reset: %d vs %d",
 			first.Histograms["sim.slot_seconds"].Count, second.Histograms["sim.slot_seconds"].Count)
+	}
+}
+
+// TestConcurrentRunsNeverCrossCount is the regression test for the old
+// package-global instrument hooks: graph/energy counters attached
+// atomically, so concurrent runs overwrote each other's attachment and
+// one run's teardown (which fired even for uninstrumented runs)
+// clobbered another's counters mid-flight. With handles threaded through
+// each run's State, concurrent runs over one shared Provider — some
+// instrumented, some not — must each count exactly what the same run
+// counts alone.
+func TestConcurrentRunsNeverCrossCount(t *testing.T) {
+	prov := testProvider(t)
+	type job struct {
+		alg  AlgorithmKind
+		seed int64
+		obs  bool
+	}
+	// Four instrumented runs plus two uninstrumented ones interleaved:
+	// under the global-hook design the uninstrumented runs' teardown
+	// detached everyone's counters.
+	jobs := []job{
+		{AlgCEAR, 42, true},
+		{AlgSSP, 42, true},
+		{AlgCEAR, 7, true},
+		{AlgECARS, 42, true},
+		{AlgCEAR, 42, false},
+		{AlgERA, 7, false},
+	}
+
+	// Sequential baseline: what each instrumented run counts on its own.
+	want := make([]map[string]int64, len(jobs))
+	for i, j := range jobs {
+		if !j.obs {
+			continue
+		}
+		rc, err := DefaultRunConfig(j.alg, testWorkload(2, j.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Obs = obs.New()
+		if _, err := Run(prov, rc); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rc.Obs.Snapshot().Counters
+	}
+
+	regs := make([]*obs.Registry, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		rc, err := DefaultRunConfig(j.alg, testWorkload(2, j.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.obs {
+			regs[i] = obs.New()
+			rc.Obs = regs[i]
+		}
+		wg.Add(1)
+		go func(i int, rc RunConfig) {
+			defer wg.Done()
+			_, errs[i] = Run(prov, rc)
+		}(i, rc)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+	for i, reg := range regs {
+		if reg == nil {
+			continue
+		}
+		got := reg.Snapshot().Counters
+		for _, name := range []string{
+			"graph.dijkstra.heap_pops", "graph.edge_relaxations",
+			"energy.deficit_walks", "energy.consumptions",
+			"sim.requests.total", "netstate.txn.commits",
+		} {
+			if got[name] != want[i][name] {
+				t.Errorf("run %d counter %s = %d concurrent, %d sequential",
+					i, name, got[name], want[i][name])
+			}
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -40,6 +41,12 @@ type Config struct {
 	// MaxEORangeKm is the maximum slant range for a space-user USL
 	// between an EO satellite and a broadband satellite.
 	MaxEORangeKm float64
+	// PrecomputeVisibility eagerly freezes USL visibility for every
+	// endpoint at construction (see Freeze), removing the visibility
+	// cache mutex from the hot loop. Costs O(endpoints × horizon × sats)
+	// up front — callers with many endpoints but few active pairs should
+	// instead Freeze just the endpoints they will query.
+	PrecomputeVisibility bool
 }
 
 // DefaultConfig returns the paper's evaluation parameters on the
@@ -120,9 +127,21 @@ type Provider struct {
 	islNeighbors [][]int
 	maxSlantKm   float64
 
+	// visGround[site] and visSpace[eo] are frozen per-slot visibility
+	// tables (see Freeze): non-nil means every slot for that endpoint is
+	// precomputed and VisibleSats reads it lock-free. Endpoints that were
+	// never frozen fall back to the mutex-guarded memo cache below.
+	visGround [][][]int
+	visSpace  [][][]int
+
 	visMu    sync.RWMutex
 	visCache map[visKey][]int
 }
+
+// emptyVis marks a frozen slot with no visible satellites: a non-nil
+// sentinel, so the lock-free read path can distinguish "computed empty"
+// from "not precomputed".
+var emptyVis = []int{}
 
 type visKey struct {
 	kind  EndpointKind
@@ -210,6 +229,11 @@ func NewProvider(cfg Config, sites []grid.Site, eoFleet []orbit.Satellite) (*Pro
 		}
 	}
 	p.maxSlantKm = maxSlantRangeKm(maxAlt, cfg.MinElevationDeg)
+	if cfg.PrecomputeVisibility {
+		if err := p.Freeze(0); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -322,8 +346,9 @@ func (p *Provider) ISLNeighbors(sat int) []int { return p.islNeighbors[sat] }
 // VisibleSats returns the broadband satellites that endpoint e can reach
 // with a USL in the given slot: above the minimum elevation for ground
 // users, or within MaxEORangeKm with clear line of sight for space
-// users. Results are memoised. Callers must not modify the returned
-// slice.
+// users. Frozen endpoints (see Freeze) are served lock-free from the
+// precomputed tables; other endpoints are memoised under a mutex.
+// Callers must not modify the returned slice.
 func (p *Provider) VisibleSats(e Endpoint, slot int) ([]int, error) {
 	if slot < 0 || slot >= p.cfg.Horizon {
 		return nil, fmt.Errorf("topology: slot %d outside horizon [0,%d)", slot, p.cfg.Horizon)
@@ -333,9 +358,15 @@ func (p *Provider) VisibleSats(e Endpoint, slot int) ([]int, error) {
 		if e.Index < 0 || e.Index >= len(p.sites) {
 			return nil, fmt.Errorf("topology: ground site %d outside [0,%d)", e.Index, len(p.sites))
 		}
+		if p.visGround != nil && p.visGround[e.Index] != nil {
+			return p.visGround[e.Index][slot], nil
+		}
 	case EndpointSpace:
 		if e.Index < 0 || e.Index >= len(p.eo) {
 			return nil, fmt.Errorf("topology: EO index %d outside [0,%d)", e.Index, len(p.eo))
+		}
+		if p.visSpace != nil && p.visSpace[e.Index] != nil {
+			return p.visSpace[e.Index][slot], nil
 		}
 	default:
 		return nil, fmt.Errorf("topology: unknown endpoint kind %d", e.Kind)
@@ -349,6 +380,17 @@ func (p *Provider) VisibleSats(e Endpoint, slot int) ([]int, error) {
 		return cached, nil
 	}
 
+	visible := p.computeVisible(e, slot)
+
+	p.visMu.Lock()
+	p.visCache[key] = visible
+	p.visMu.Unlock()
+	return visible, nil
+}
+
+// computeVisible is the pure visibility computation behind VisibleSats
+// and Freeze. Endpoint and slot must already be validated.
+func (p *Provider) computeVisible(e Endpoint, slot int) []int {
 	var visible []int
 	if e.Kind == EndpointGround {
 		obs := p.siteECEF[e.Index]
@@ -373,11 +415,109 @@ func (p *Provider) VisibleSats(e Endpoint, slot int) ([]int, error) {
 			}
 		}
 	}
+	return visible
+}
 
-	p.visMu.Lock()
-	p.visCache[key] = visible
-	p.visMu.Unlock()
-	return visible, nil
+// Freeze precomputes the per-slot visibility of the given endpoints
+// (every site and EO satellite when none are named), fanning the slots
+// out over a worker pool (workers <= 0 picks GOMAXPROCS). Frozen
+// endpoints are immutable afterwards and VisibleSats serves them without
+// taking a lock — the hot-loop synchronization point disappears for
+// every endpoint the workload actually routes between. Endpoints not
+// frozen keep the lazy mutex-guarded cache, which stays correct (if
+// slower) under concurrency.
+//
+// Freeze is part of construction: call it before the provider is shared
+// across goroutines. Already-frozen endpoints are skipped, so repeated
+// calls with overlapping endpoint sets are cheap.
+func (p *Provider) Freeze(workers int, endpoints ...Endpoint) error {
+	if len(endpoints) == 0 {
+		endpoints = make([]Endpoint, 0, len(p.sites)+len(p.eo))
+		for i := range p.sites {
+			endpoints = append(endpoints, Endpoint{Kind: EndpointGround, Index: i})
+		}
+		for i := range p.eo {
+			endpoints = append(endpoints, Endpoint{Kind: EndpointSpace, Index: i})
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if p.visGround == nil {
+		p.visGround = make([][][]int, len(p.sites))
+	}
+	if p.visSpace == nil {
+		p.visSpace = make([][][]int, len(p.eo))
+	}
+	todo := make([]Endpoint, 0, len(endpoints))
+	for _, e := range endpoints {
+		switch e.Kind {
+		case EndpointGround:
+			if e.Index < 0 || e.Index >= len(p.sites) {
+				return fmt.Errorf("topology: freeze: ground site %d outside [0,%d)", e.Index, len(p.sites))
+			}
+			if p.visGround[e.Index] == nil {
+				p.visGround[e.Index] = make([][]int, p.cfg.Horizon)
+				todo = append(todo, e)
+			}
+		case EndpointSpace:
+			if e.Index < 0 || e.Index >= len(p.eo) {
+				return fmt.Errorf("topology: freeze: EO index %d outside [0,%d)", e.Index, len(p.eo))
+			}
+			if p.visSpace[e.Index] == nil {
+				p.visSpace[e.Index] = make([][]int, p.cfg.Horizon)
+				todo = append(todo, e)
+			}
+		default:
+			return fmt.Errorf("topology: freeze: unknown endpoint kind %d", e.Kind)
+		}
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+
+	// Fan out across slots: each (endpoint, slot) cell is written by
+	// exactly one worker, into tables allocated above — no locking.
+	slotCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := range slotCh {
+				for _, e := range todo {
+					vis := p.computeVisible(e, slot)
+					if vis == nil {
+						vis = emptyVis
+					}
+					if e.Kind == EndpointGround {
+						p.visGround[e.Index][slot] = vis
+					} else {
+						p.visSpace[e.Index][slot] = vis
+					}
+				}
+			}
+		}()
+	}
+	for t := 0; t < p.cfg.Horizon; t++ {
+		slotCh <- t
+	}
+	close(slotCh)
+	wg.Wait()
+	return nil
+}
+
+// Precomputed reports whether an endpoint's visibility was frozen. Out
+// of range endpoints report false.
+func (p *Provider) Precomputed(e Endpoint) bool {
+	switch e.Kind {
+	case EndpointGround:
+		return p.visGround != nil && e.Index >= 0 && e.Index < len(p.visGround) && p.visGround[e.Index] != nil
+	case EndpointSpace:
+		return p.visSpace != nil && e.Index >= 0 && e.Index < len(p.visSpace) && p.visSpace[e.Index] != nil
+	default:
+		return false
+	}
 }
 
 // GlobalID maps endpoints into a single dense node-ID space shared with

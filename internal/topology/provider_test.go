@@ -420,6 +420,150 @@ func TestVisibleSatsConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestFreezeMatchesLazy verifies the frozen fast path returns exactly
+// what the lazy memoised path computes, for both endpoint kinds, across
+// every slot.
+func TestFreezeMatchesLazy(t *testing.T) {
+	sites := []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},
+		{ID: 1, LatDeg: 89.0, LonDeg: 0}, // out of coverage: empty lists
+	}
+	eo, err := orbit.SyntheticEOFleet(orbit.EOFleetConfig{
+		Count: 4, MinAltitudeKm: 475, MaxAltitudeKm: 525, Seed: 3, Epoch: testEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := newSmallProvider(t, sites, eo)
+	frozen := newSmallProvider(t, sites, eo)
+	if err := frozen.Freeze(3); err != nil {
+		t.Fatal(err)
+	}
+
+	endpoints := []Endpoint{
+		{Kind: EndpointGround, Index: 0},
+		{Kind: EndpointGround, Index: 1},
+		{Kind: EndpointSpace, Index: 0},
+		{Kind: EndpointSpace, Index: 3},
+	}
+	for _, e := range endpoints {
+		if !frozen.Precomputed(e) {
+			t.Fatalf("endpoint %+v not precomputed after full Freeze", e)
+		}
+		if lazy.Precomputed(e) {
+			t.Fatalf("endpoint %+v reports precomputed on the lazy provider", e)
+		}
+		for slot := 0; slot < frozen.Horizon(); slot++ {
+			want, err := lazy.VisibleSats(e, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := frozen.VisibleSats(e, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("endpoint %+v slot %d: frozen %v, lazy %v", e, slot, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("endpoint %+v slot %d differs at %d", e, slot, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFreezeSubsetKeepsLazyFallback: freezing only some endpoints must
+// leave the rest on the (still correct) memoised path.
+func TestFreezeSubsetKeepsLazyFallback(t *testing.T) {
+	sites := []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},
+		{ID: 1, LatDeg: 34.1, LonDeg: -118.2},
+	}
+	p := newSmallProvider(t, sites, nil)
+	hot := Endpoint{Kind: EndpointGround, Index: 0}
+	cold := Endpoint{Kind: EndpointGround, Index: 1}
+	if err := p.Freeze(2, hot); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Precomputed(hot) || p.Precomputed(cold) {
+		t.Fatalf("precomputed flags: hot=%v cold=%v", p.Precomputed(hot), p.Precomputed(cold))
+	}
+	for _, e := range []Endpoint{hot, cold} {
+		if _, err := p.VisibleSats(e, 5); err != nil {
+			t.Fatalf("endpoint %+v: %v", e, err)
+		}
+	}
+	// Idempotent: re-freezing an already-frozen endpoint is a no-op.
+	if err := p.Freeze(2, hot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreezeErrors(t *testing.T) {
+	p := newSmallProvider(t, []grid.Site{{ID: 0}}, nil)
+	if err := p.Freeze(1, Endpoint{Kind: EndpointGround, Index: 9}); err == nil {
+		t.Error("out-of-range site should error")
+	}
+	if err := p.Freeze(1, Endpoint{Kind: EndpointSpace, Index: 0}); err == nil {
+		t.Error("EO endpoint without a fleet should error")
+	}
+	if err := p.Freeze(1, Endpoint{Kind: 0, Index: 0}); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+// TestPrecomputeVisibilityConfig: the construction-time flag freezes
+// every endpoint.
+func TestPrecomputeVisibilityConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PrecomputeVisibility = true
+	p, err := NewProvider(cfg, []grid.Site{{ID: 0, LatDeg: 35, LonDeg: 139}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Precomputed(Endpoint{Kind: EndpointGround, Index: 0}) {
+		t.Fatal("PrecomputeVisibility did not freeze the site")
+	}
+	if _, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrozenProviderConcurrentAccess mirrors the lazy-path concurrency
+// test on the lock-free frozen tables (meaningful under -race).
+func TestFrozenProviderConcurrentAccess(t *testing.T) {
+	p := newSmallProvider(t, []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},
+		{ID: 1, LatDeg: 34.1, LonDeg: -118.2},
+	}, nil)
+	if err := p.Freeze(4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := 0; slot < p.Horizon(); slot++ {
+				for site := 0; site < 2; site++ {
+					if _, err := p.VisibleSats(Endpoint{Kind: EndpointGround, Index: site}, slot); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 func TestMultiShellProvider(t *testing.T) {
 	cfg := smallConfig()
 	second := cfg.Walker

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
+	"spacebooking/internal/experiment"
 	"spacebooking/internal/grid"
 	"spacebooking/internal/netstate"
 	"spacebooking/internal/obs"
@@ -107,16 +109,31 @@ type Environment struct {
 	valuation   float64
 	// Logf, when non-nil, receives progress lines from the long runners.
 	Logf func(format string, args ...interface{})
-	// Obs, when non-nil, instruments every run launched through this
-	// environment (counters, histograms, phase timers — see internal/obs).
-	// A RunConfig that already carries its own registry keeps it.
+	// Obs enables observability. When non-nil, every run launched
+	// through a figure runner gets its *own* fresh registry (so parallel
+	// runs never share counters); a single Run with a nil RunConfig.Obs
+	// inherits this registry directly. Use LastObs to retrieve the
+	// registry of the most recent run in matrix order.
 	Obs *obs.Registry
-	// ResetObsPerRun, when true, resets Obs at the start of every run
-	// launched through Run, so each run's snapshot (and the per-slot time
-	// series in particular) stands alone instead of accumulating across
-	// sequential per-algorithm runs. spacebench sets this: its report
-	// then describes the figure's last run, not a blend of all of them.
+	// Parallelism bounds how many simulation runs the figure runners
+	// execute concurrently; <= 0 means GOMAXPROCS. Per-cell results are
+	// identical to a sequential sweep — each run owns its State, RNG and
+	// registry, and the shared Provider's visibility tables are frozen
+	// for the request pairs at construction time.
+	Parallelism int
+	// ObsSink, when non-nil, receives each completed run's registry (in
+	// completion order, serialised). spacebench uses it to repoint the
+	// live debug server at the freshest run.
+	ObsSink func(*obs.Registry)
+	// ResetObsPerRun is retired and ignored.
+	//
+	// Deprecated: figure runners now give every run its own registry, so
+	// snapshots never accumulate across runs; use LastObs for the
+	// last-run view the reset used to provide.
 	ResetObsPerRun bool
+
+	lastObsMu sync.Mutex
+	lastObs   *obs.Registry
 }
 
 // DefaultEpoch is the fixed simulation start used when EnvConfig.Epoch
@@ -228,6 +245,26 @@ func NewEnvironment(cfg EnvConfig) (*Environment, error) {
 		return nil, err
 	}
 
+	// Freeze the visibility tables of every request endpoint: the hot
+	// path (NewView, twice per request per slot) then reads precomputed
+	// slices with no locking, which is what makes parallel runs over the
+	// shared provider scale. Non-pair endpoints keep the lazy memoised
+	// path — freezing all 1761 sites at ScaleFull would cost far more
+	// than any figure ever queries.
+	seenEp := make(map[topology.Endpoint]bool, 2*len(pairs))
+	eps := make([]topology.Endpoint, 0, 2*len(pairs))
+	for _, p := range pairs {
+		for _, ep := range []topology.Endpoint{p.Src, p.Dst} {
+			if !seenEp[ep] {
+				seenEp[ep] = true
+				eps = append(eps, ep)
+			}
+		}
+	}
+	if err := prov.Freeze(0, eps...); err != nil {
+		return nil, err
+	}
+
 	rate := defaults.rate
 	if cfg.DefaultArrivalRate > 0 {
 		rate = cfg.DefaultArrivalRate
@@ -311,17 +348,54 @@ func (e *Environment) RunConfig(alg sim.AlgorithmKind, wl workload.Config) (sim.
 }
 
 // Run executes a single simulation run. When the environment carries an
-// observability registry and the config does not, the run inherits it —
-// reset first when ResetObsPerRun is set, so sequential runs do not
-// bleed into each other's snapshots.
+// observability registry and the config does not, the run inherits it.
 func (e *Environment) Run(rc sim.RunConfig) (*sim.Result, error) {
 	if rc.Obs == nil {
 		rc.Obs = e.Obs
-		if e.ResetObsPerRun {
-			rc.Obs.Reset()
+	}
+	res, err := sim.Run(e.Provider, rc)
+	if err == nil && rc.Obs != nil {
+		e.setLastObs(rc.Obs)
+	}
+	return res, err
+}
+
+// LastObs returns the registry of the most recent successful run — for
+// matrix runners, the last observed run in matrix order. Nil until an
+// observed run completes.
+func (e *Environment) LastObs() *obs.Registry {
+	e.lastObsMu.Lock()
+	defer e.lastObsMu.Unlock()
+	return e.lastObs
+}
+
+func (e *Environment) setLastObs(reg *obs.Registry) {
+	e.lastObsMu.Lock()
+	e.lastObs = reg
+	e.lastObsMu.Unlock()
+}
+
+// runMatrix fans the jobs over the experiment scheduler with the
+// environment's parallelism and observability settings, returning
+// results in matrix order. Each observed job gets its own registry.
+func (e *Environment) runMatrix(jobs []experiment.Job, build func(i int, j experiment.Job) (sim.RunConfig, error)) ([]experiment.Result, error) {
+	results, err := experiment.Run(e.Provider, jobs, experiment.Config{
+		Parallelism:  e.Parallelism,
+		Observe:      e.Obs != nil,
+		NewRunConfig: build,
+		OnResult: func(r experiment.Result) {
+			if r.Err == nil && r.Obs != nil && e.ObsSink != nil {
+				e.ObsSink(r.Obs)
+			}
+		},
+	})
+	for i := len(results) - 1; i >= 0; i-- {
+		if results[i].Err == nil && results[i].Obs != nil {
+			e.setLastObs(results[i].Obs)
+			break
 		}
 	}
-	return sim.Run(e.Provider, rc)
+	return results, err
 }
 
 // PaperPricing returns the paper's pricing parameters (n=20, 𝕋=10,
