@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-race build test vet race bench-smoke obsdiff-smoke
+.PHONY: check check-race build test vet race bench bench-smoke obsdiff-smoke
 
 check: vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -28,10 +28,24 @@ check-race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Full fast-path benchmark suite; writes BENCH_4.json (see
+# EXPERIMENTS.md for the schema and scripts/bench.sh for knobs).
+bench:
+	./scripts/bench.sh
+
 # Produce a tiny-run report and diff it against itself: exercises the
 # report pipeline end to end and must exit 0 (the CI smoke for the
-# obsdiff perf gate).
+# obsdiff perf gate). Also gates the routing fast path: the report must
+# carry the fast-path counters, and the searches/reuses counts must be
+# live (a zero means a regression silently fell back to the generic
+# path or stopped reusing the scratch).
 obsdiff-smoke:
 	$(GO) run ./cmd/cearsim -scale small -report /tmp/obsdiff-smoke.json >/dev/null
 	$(GO) run ./cmd/obsdiff /tmp/obsdiff-smoke.json /tmp/obsdiff-smoke.json
+	@grep -q '"graph.fastpath.pruned_labels"' /tmp/obsdiff-smoke.json || \
+		{ echo "obsdiff-smoke: graph.fastpath.pruned_labels missing from run report"; exit 1; }
+	@grep -Eq '"graph.fastpath.searches": *[1-9]' /tmp/obsdiff-smoke.json || \
+		{ echo "obsdiff-smoke: graph.fastpath.searches is zero or missing — fast path not live"; exit 1; }
+	@grep -Eq '"netstate.scratch.reuses": *[1-9]' /tmp/obsdiff-smoke.json || \
+		{ echo "obsdiff-smoke: netstate.scratch.reuses is zero or missing — scratch not reused"; exit 1; }
 	@rm -f /tmp/obsdiff-smoke.json

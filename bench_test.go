@@ -13,6 +13,7 @@ package spacebooking
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"testing"
@@ -209,14 +210,24 @@ func BenchmarkCompetitive(b *testing.B) {
 
 // --- Micro-benchmarks on the hot paths -------------------------------
 
-// BenchmarkCEARHandle measures the per-request cost of Algorithm 1 on a
-// warm network.
-func BenchmarkCEARHandle(b *testing.B) {
+// benchCEARHandle drives full simulation runs with the given search
+// configuration; the per-iteration numbers are dominated by per-request
+// Handle work once the provider is warm.
+func benchCEARHandle(b *testing.B, generic, prune bool) {
+	b.Helper()
 	env := benchEnvironment(b)
 	rc, err := env.RunConfig(sim.AlgCEAR, env.WorkloadConfig(env.DefaultArrivalRate(), 1))
 	if err != nil {
 		b.Fatal(err)
 	}
+	rc.GenericSearch = generic
+	rc.PruneBudget = prune
+	if !generic {
+		// Mirror the experiment scheduler: one pooled scratch serves
+		// every run on this goroutine.
+		rc.Scratch = netstate.NewSearchScratch()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.Run(rc); err != nil {
@@ -225,8 +236,23 @@ func BenchmarkCEARHandle(b *testing.B) {
 	}
 }
 
-// BenchmarkViewDijkstra measures one min-price path search over the LSN
-// view, the innermost loop of every algorithm.
+// BenchmarkCEARHandle measures the per-request cost of Algorithm 1 on a
+// warm network, using the production configuration: the flat CSR fast
+// path with a reused search scratch.
+func BenchmarkCEARHandle(b *testing.B) { benchCEARHandle(b, false, false) }
+
+// BenchmarkCEARHandleGeneric is the reference-path twin of
+// BenchmarkCEARHandle: Adjacency-interface views and the generic graph
+// searches. The gap between the two is the fast path's win.
+func BenchmarkCEARHandleGeneric(b *testing.B) { benchCEARHandle(b, true, false) }
+
+// BenchmarkCEARHandlePruned adds budget pruning on top of the fast path:
+// searches abandon plans that already exceed the request's valuation.
+func BenchmarkCEARHandlePruned(b *testing.B) { benchCEARHandle(b, false, true) }
+
+// BenchmarkViewDijkstra measures one min-price path search over the
+// generic LSN view, the innermost loop of every algorithm on the
+// reference path.
 func BenchmarkViewDijkstra(b *testing.B) {
 	env := benchEnvironment(b)
 	state, err := netstate.New(env.Provider, PaperEnergyConfig(), false)
@@ -240,9 +266,36 @@ func BenchmarkViewDijkstra(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := graph.ShortestPath(view, view.SrcNode(), view.DstNode(), nil); !ok {
+			b.Fatal("no path")
+		}
+	}
+}
+
+// BenchmarkFlatViewSearch is the fast-path twin of BenchmarkViewDijkstra,
+// including the per-slot view build (stamping the destination visibility
+// table) that production pays on every slot of every request.
+func BenchmarkFlatViewSearch(b *testing.B) {
+	env := benchEnvironment(b)
+	state, err := netstate.New(env.Provider, PaperEnergyConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair := env.Pairs[0]
+	slot := findBenchSlot(b, env, pair)
+	unit := func(netstate.LinkKey, graph.EdgeClass, float64, float64) float64 { return 1 }
+	sc := netstate.NewSearchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view, err := sc.BuildView(state, slot, pair.Src, pair.Dst, 1000, unit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, _ := view.Search(nil, 0, 0, math.Inf(1)); !ok {
 			b.Fatal("no path")
 		}
 	}

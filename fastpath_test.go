@@ -1,0 +1,262 @@
+package spacebooking
+
+// Fast-path cross-checks: the flat CSR search path must be a drop-in
+// replacement for the generic Adjacency-interface path, and budget
+// pruning must never change an admission outcome. Both properties are
+// asserted at the Decision level (accepted flag, quoted price, full
+// plan) rather than on aggregate metrics, so any divergence in
+// floating-point evaluation order or tie-breaking shows up immediately.
+
+import (
+	"reflect"
+	"testing"
+
+	"spacebooking/internal/baselines"
+	"spacebooking/internal/core"
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
+	"spacebooking/internal/router"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/workload"
+)
+
+// equivCase is one algorithm configuration exercised by the equivalence
+// sweep. MaxHops > 0 switches CEAR onto the hop-limited search, covering
+// both flat search kernels.
+type equivCase struct {
+	name    string
+	kind    sim.AlgorithmKind
+	maxHops int
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{name: "CEAR", kind: sim.AlgCEAR},
+		{name: "CEAR-hop6", kind: sim.AlgCEAR, maxHops: 6},
+		{name: "SSP", kind: sim.AlgSSP},
+		{name: "ECARS", kind: sim.AlgECARS},
+		{name: "ERU", kind: sim.AlgERU},
+		{name: "ERA", kind: sim.AlgERA},
+	}
+}
+
+// newSearchAlgorithm mirrors sim.buildAlgorithm's wiring for the kinds
+// under test, with explicit control over the search implementation and
+// budget pruning. Each call builds a fresh strict-battery state so the
+// two sides of a comparison never share reservations.
+func newSearchAlgorithm(t *testing.T, env *Environment, ec equivCase, rc sim.RunConfig, generic, prune bool) router.Algorithm {
+	t.Helper()
+	state, err := netstate.New(env.Provider, rc.Energy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch ec.kind {
+	case sim.AlgCEAR:
+		alg, err := core.New(state, core.Options{
+			Pricing:          rc.Pricing,
+			MaxHops:          ec.maxHops,
+			UseGenericSearch: generic,
+			PruneBudget:      prune,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	case sim.AlgSSP, sim.AlgECARS, sim.AlgERU, sim.AlgERA:
+		var (
+			alg *baselines.Baseline
+		)
+		switch ec.kind {
+		case sim.AlgSSP:
+			alg, err = baselines.NewSSP(state)
+		case sim.AlgECARS:
+			alg, err = baselines.NewECARS(state, rc.Weights)
+		case sim.AlgERU:
+			alg, err = baselines.NewERU(state, rc.Weights)
+		default:
+			alg, err = baselines.NewERA(state, rc.Weights)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg.SetGenericSearch(generic)
+		return alg
+	default:
+		t.Fatalf("unsupported kind %v", ec.kind)
+		return nil
+	}
+}
+
+// TestFlatSearchMatchesGenericSearch replays identical workloads through
+// the generic reference path and the flat CSR fast path and requires
+// byte-identical decisions for CEAR (Dijkstra and hop-limited) and every
+// baseline. Load is set above the default rate so congested (+Inf) edges,
+// energy-infeasible trials and rejections are all exercised.
+func TestFlatSearchMatchesGenericSearch(t *testing.T) {
+	env := smallEnv(t)
+	for _, ec := range equivCases() {
+		for _, seed := range []int64{1, 7, 23} {
+			wl := env.WorkloadConfig(2*env.DefaultArrivalRate(), seed)
+			rc, err := env.RunConfig(ec.kind, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs, err := workload.Generate(wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericAlg := newSearchAlgorithm(t, env, ec, rc, true, false)
+			flatAlg := newSearchAlgorithm(t, env, ec, rc, false, false)
+			for i, req := range reqs {
+				dg, err := genericAlg.Handle(req)
+				if err != nil {
+					t.Fatalf("%s seed %d: generic Handle(%d): %v", ec.name, seed, i, err)
+				}
+				df, err := flatAlg.Handle(req)
+				if err != nil {
+					t.Fatalf("%s seed %d: flat Handle(%d): %v", ec.name, seed, i, err)
+				}
+				if !reflect.DeepEqual(dg, df) {
+					t.Fatalf("%s seed %d request %d: decisions diverge\ngeneric: %+v\nflat:    %+v",
+						ec.name, seed, i, dg, df)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetPruningPreservesOutcomes runs CEAR with and without budget
+// pruning over identical workloads whose valuation is squeezed low
+// enough that a healthy fraction of requests is priced out. Pruning may
+// abandon a search early, so rejection *reasons* can differ (an
+// early-pruned plan reads "exceeds valuation" where the exhaustive
+// search might discover "no feasible path" at a later slot) — but the
+// accepted set, the quoted prices of accepted plans, the plans
+// themselves, and the committed network state must match exactly.
+func TestBudgetPruningPreservesOutcomes(t *testing.T) {
+	env := smallEnv(t)
+	horizon := env.Provider.Horizon()
+	for _, seed := range []int64{3, 11} {
+		wl := env.WorkloadConfig(2*env.DefaultArrivalRate(), seed)
+		wl.Valuation = env.DefaultValuation() / 1e4
+		rc, err := env.RunConfig(sim.AlgCEAR, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reg := obs.New()
+		statePlain, err := netstate.New(env.Provider, rc.Energy, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statePruned, err := netstate.New(env.Provider, rc.Energy, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statePruned.SetObs(reg)
+		plain, err := core.New(statePlain, core.Options{Pricing: rc.Pricing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := core.New(statePruned, core.Options{Pricing: rc.Pricing, PruneBudget: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		accepted, rejected := 0, 0
+		for i, req := range reqs {
+			dp, err := plain.Handle(req)
+			if err != nil {
+				t.Fatalf("seed %d: plain Handle(%d): %v", seed, i, err)
+			}
+			dq, err := pruned.Handle(req)
+			if err != nil {
+				t.Fatalf("seed %d: pruned Handle(%d): %v", seed, i, err)
+			}
+			if dp.Accepted != dq.Accepted {
+				t.Fatalf("seed %d request %d: accepted %v (plain) vs %v (pruned); reasons %q vs %q",
+					seed, i, dp.Accepted, dq.Accepted, dp.Reason, dq.Reason)
+			}
+			if dp.Accepted {
+				accepted++
+				// Accepted decisions must be fully identical, reason
+				// included (it is empty on accept).
+				if !reflect.DeepEqual(dp, dq) {
+					t.Fatalf("seed %d request %d: accepted decisions diverge\nplain:  %+v\npruned: %+v",
+						seed, i, dp, dq)
+				}
+			} else {
+				rejected++
+			}
+		}
+		if accepted == 0 || rejected == 0 {
+			t.Fatalf("seed %d: degenerate workload (accepted=%d rejected=%d); pruning not exercised both ways",
+				seed, accepted, rejected)
+		}
+		if n := reg.Counter("graph.fastpath.pruned_labels").Value(); n == 0 {
+			t.Fatalf("seed %d: budget pruning never fired; cross-check is vacuous", seed)
+		}
+
+		// Committed state must be indistinguishable: same congestion and
+		// depletion profile, same residual energy deficit, slot by slot.
+		// (The raw ledger footprint is NOT compared: a rolled-back
+		// reservation leaves a zero-usage ledger entry behind, and the
+		// pruned run abandons doomed searches before ever touching those
+		// links — a difference in bookkeeping residue, not in state.)
+		for slot := 0; slot < horizon; slot++ {
+			if a, b := statePlain.CongestedLinkCount(slot, 0.1), statePruned.CongestedLinkCount(slot, 0.1); a != b {
+				t.Fatalf("seed %d slot %d: congested links %d vs %d", seed, slot, a, b)
+			}
+			if a, b := statePlain.DepletedSatCount(slot, 0.2), statePruned.DepletedSatCount(slot, 0.2); a != b {
+				t.Fatalf("seed %d slot %d: depleted sats %d vs %d", seed, slot, a, b)
+			}
+			if a, b := statePlain.EnergyDeficitJ(slot), statePruned.EnergyDeficitJ(slot); a != b {
+				t.Fatalf("seed %d slot %d: energy deficit %v vs %v", seed, slot, a, b)
+			}
+		}
+	}
+}
+
+// TestScratchReuseAcrossRequests checks the pooling story end to end: a
+// single SearchScratch threaded through a full simulation run is reused
+// (not rebuilt) across slots and requests, and sharing one scratch
+// across sequential runs still produces decisions identical to a
+// scratch-per-run setup.
+func TestScratchReuseAcrossRequests(t *testing.T) {
+	env := smallEnv(t)
+	// Leave the shared environment pristine for tests that assert on
+	// LastObs ordering.
+	defer env.setLastObs(nil)
+	wl := env.WorkloadConfig(env.DefaultArrivalRate(), 5)
+	rc, err := env.RunConfig(sim.AlgCEAR, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Scratch = netstate.NewSearchScratch()
+	rc.Obs = obs.New()
+	res1, err := env.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rc.Obs.Counter("netstate.scratch.reuses").Value(); n == 0 {
+		t.Fatal("scratch was never reused across view builds")
+	}
+	if n := rc.Obs.Counter("graph.fastpath.searches").Value(); n == 0 {
+		t.Fatal("fast-path search counter never incremented")
+	}
+
+	// The same (now warm) scratch must not leak state between runs.
+	rc2 := rc
+	rc2.Obs = obs.New()
+	res2, err := env.Run(rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("warm-scratch rerun diverged:\nfirst:  %+v\nsecond: %+v", res1, res2)
+	}
+}

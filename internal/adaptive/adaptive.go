@@ -102,6 +102,13 @@ type Config struct {
 	NominalRatePerSlot float64
 	// MaxHops is forwarded to the inner CEAR.
 	MaxHops int
+	// UseGenericSearch, PruneBudget and Scratch are forwarded to the
+	// inner CEAR's routing options (see core.Options). One Scratch is
+	// shared by every rebuilt inner instance, so re-derivations keep the
+	// warm search arrays.
+	UseGenericSearch bool
+	PruneBudget      bool
+	Scratch          *netstate.SearchScratch
 	// Predictor is optional; nil disables the AoP term.
 	Predictor Predictor
 	// Obs is forwarded to the inner CEAR (nil disables instrumentation).
@@ -182,6 +189,11 @@ func New(state *netstate.State, cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{state: state, cfg: cfg, f1: cfg.InitialF1, f2: cfg.InitialF2}
+	if c.cfg.Scratch == nil {
+		// Pin one scratch now so every rebuilt inner CEAR reuses the
+		// same warm search arrays across re-derivations.
+		c.cfg.Scratch = netstate.NewSearchScratch()
+	}
 	if err := c.rebuild(); err != nil {
 		return nil, err
 	}
@@ -204,7 +216,14 @@ func (c *Controller) rebuild() error {
 	if err != nil {
 		return err
 	}
-	inner, err := core.New(c.state, core.Options{Pricing: params, MaxHops: c.cfg.MaxHops, Obs: c.cfg.Obs})
+	inner, err := core.New(c.state, core.Options{
+		Pricing:          params,
+		MaxHops:          c.cfg.MaxHops,
+		UseGenericSearch: c.cfg.UseGenericSearch,
+		PruneBudget:      c.cfg.PruneBudget,
+		Scratch:          c.cfg.Scratch,
+		Obs:              c.cfg.Obs,
+	})
 	if err != nil {
 		return err
 	}

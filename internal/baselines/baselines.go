@@ -91,6 +91,21 @@ type Baseline struct {
 	opts  WeightOptions
 	// thresholdJ is the precomputed over-threshold deficit in joules.
 	thresholdJ float64
+
+	// Routing fast-path state, mirroring core.CEAR: the pooled search
+	// scratch, a reusable consumption buffer, and cost/transit functions
+	// bound once at construction (method values reading curSlot/curRate,
+	// so the slot loop allocates no closures).
+	scratch   *netstate.SearchScratch
+	consBuf   []netstate.Consumption
+	generic   bool
+	edgeFn    netstate.EdgeCostFunc
+	transitFn graph.TransitCostFunc
+	curSlot   int
+	curRate   float64
+	slotSec   float64
+	ecfg      netstate.EnergyConfig
+	numSats   int
 }
 
 var _ router.Algorithm = (*Baseline)(nil)
@@ -105,7 +120,32 @@ func newBaseline(state *netstate.State, m mode, opts WeightOptions) (*Baseline, 
 	cfg := state.Provider().Config()
 	// θ [W·min/Mbit] × 60 [J per W·min] × per-slot ISL capacity [Mbit].
 	thresholdJ := opts.EnergyThresholdWMinPerMbit * 60 * cfg.ISLCapacityMbps * cfg.SlotSeconds
-	return &Baseline{state: state, mode: m, opts: opts, thresholdJ: thresholdJ}, nil
+	b := &Baseline{
+		state:      state,
+		mode:       m,
+		opts:       opts,
+		thresholdJ: thresholdJ,
+		scratch:    netstate.NewSearchScratch(),
+		slotSec:    cfg.SlotSeconds,
+		ecfg:       state.EnergyConfig(),
+		numSats:    state.Provider().NumSats(),
+	}
+	b.edgeFn = b.edgeWeight
+	b.transitFn = b.transitWeight
+	return b, nil
+}
+
+// SetGenericSearch routes this baseline through the reference
+// implementation (netstate.View plus the generic graph searches)
+// instead of the flat fast path. The two produce identical decisions.
+func (b *Baseline) SetGenericSearch(generic bool) { b.generic = generic }
+
+// SetScratch replaces the baseline's private search scratch with a
+// shared (e.g. pooled) one. Nil is ignored.
+func (b *Baseline) SetScratch(sc *netstate.SearchScratch) {
+	if sc != nil {
+		b.scratch = sc
+	}
 }
 
 // NewSSP builds the Single Shortest Path baseline.
@@ -159,83 +199,51 @@ func (o WeightOptions) hopBias() float64 {
 	return 1 - o.CongestionFactor - o.EnergyFactor
 }
 
-// feasibleTransit reports +Inf when the satellite physically cannot host
-// the role-dependent energy of this slot (constraint (7c)); otherwise it
-// returns 0. Every baseline composes its own weight on top of this mask:
-// no algorithm may route through a satellite whose battery cannot carry
-// the traffic.
-func (b *Baseline) feasibleTransit(slot int, rateMbps float64) graph.TransitCostFunc {
-	slotSec := b.state.Provider().Config().SlotSeconds
-	ecfg := b.state.EnergyConfig()
-	return func(node int, in, out graph.EdgeClass) float64 {
-		joules := ecfg.TransitEnergyJ(in, out, rateMbps, slotSec)
-		if !b.state.Battery(node).Feasible(slot, joules) {
-			return math.Inf(1)
-		}
+// transitWeight is every baseline's node transit cost for the current
+// (curSlot, curRate): the physical battery-feasibility mask (constraint
+// (7c)) composed with the mode's energy weight. Bound once as
+// b.transitFn. No algorithm may route through a satellite whose battery
+// cannot carry the traffic; ERU additionally prunes over-threshold
+// satellites outright, checked before the mask (so its deficit-walk
+// counts match the original closure composition).
+func (b *Baseline) transitWeight(node int, in, out graph.EdgeClass) float64 {
+	if b.mode == modeERU && b.overThreshold(node, b.curSlot) {
+		return math.Inf(1)
+	}
+	joules := b.ecfg.TransitEnergyJ(in, out, b.curRate, b.slotSec)
+	if !b.state.Battery(node).Feasible(b.curSlot, joules) {
+		return math.Inf(1)
+	}
+	switch b.mode {
+	case modeSSP:
+		// Min-hop: the physical mask only.
 		return 0
+	case modeERA:
+		ef := b.opts.EnergyFactor
+		if b.overThreshold(node, b.curSlot) {
+			ef = b.opts.OverEnergyFactor
+		}
+		return ef * b.state.Battery(node).UtilizationAt(b.curSlot)
+	default: // ECARS and ERU share the linear energy weight.
+		return b.opts.EnergyFactor * b.state.Battery(node).UtilizationAt(b.curSlot)
 	}
 }
 
-// search finds this baseline's preferred path for one slot's view.
-func (b *Baseline) search(view *netstate.View, slot int, rateMbps float64) (graph.Path, bool) {
-	mask := b.feasibleTransit(slot, rateMbps)
-	var transit graph.TransitCostFunc
+// edgeWeight is the per-edge cost of this baseline for the current
+// slot. Bound once as b.edgeFn.
+func (b *Baseline) edgeWeight(key netstate.LinkKey, class graph.EdgeClass, capacity, utilization float64) float64 {
 	switch b.mode {
 	case modeSSP:
-		// Min-hop: unit edge costs with the physical mask only.
-		transit = mask
-	case modeECARS:
-		transit = func(node int, in, out graph.EdgeClass) float64 {
-			if m := mask(node, in, out); math.IsInf(m, 1) {
-				return m
-			}
-			return b.opts.EnergyFactor * b.state.Battery(node).UtilizationAt(slot)
-		}
-	case modeERU:
-		transit = func(node int, in, out graph.EdgeClass) float64 {
-			if b.overThreshold(node, slot) {
-				return math.Inf(1)
-			}
-			if m := mask(node, in, out); math.IsInf(m, 1) {
-				return m
-			}
-			return b.opts.EnergyFactor * b.state.Battery(node).UtilizationAt(slot)
-		}
+		return 1
 	case modeERA:
-		transit = func(node int, in, out graph.EdgeClass) float64 {
-			if m := mask(node, in, out); math.IsInf(m, 1) {
-				return m
-			}
-			ef := b.opts.EnergyFactor
-			if b.overThreshold(node, slot) {
-				ef = b.opts.OverEnergyFactor
-			}
-			return ef * b.state.Battery(node).UtilizationAt(slot)
+		cf, bias := b.opts.CongestionFactor, b.opts.hopBias()
+		if from := key.From(); from < b.numSats && b.overThreshold(from, b.curSlot) {
+			cf = b.opts.OverCongestionFactor
+			bias = 1 - b.opts.OverCongestionFactor - b.opts.OverEnergyFactor
 		}
-	default:
-		return graph.Path{}, false
-	}
-	return graph.ShortestPath(view, view.SrcNode(), view.DstNode(), transit)
-}
-
-// edgeCost builds the per-slot edge cost function of this baseline.
-func (b *Baseline) edgeCost(slot int) netstate.EdgeCostFunc {
-	switch b.mode {
-	case modeSSP:
-		return func(netstate.LinkKey, graph.EdgeClass, float64, float64) float64 { return 1 }
-	case modeERA:
-		return func(key netstate.LinkKey, class graph.EdgeClass, capacity, utilization float64) float64 {
-			cf, bias := b.opts.CongestionFactor, b.opts.hopBias()
-			if from := key.From(); from < b.state.Provider().NumSats() && b.overThreshold(from, slot) {
-				cf = b.opts.OverCongestionFactor
-				bias = 1 - b.opts.OverCongestionFactor - b.opts.OverEnergyFactor
-			}
-			return cf*utilization + bias
-		}
+		return cf*utilization + bias
 	default: // ECARS and ERU share the linear edge weight.
-		return func(key netstate.LinkKey, class graph.EdgeClass, capacity, utilization float64) float64 {
-			return b.opts.CongestionFactor*utilization + b.opts.hopBias()
-		}
+		return b.opts.CongestionFactor*utilization + b.opts.hopBias()
 	}
 }
 
@@ -255,13 +263,39 @@ func (b *Baseline) Handle(req workload.Request) (router.Decision, error) {
 	// failure rolls the whole request back.
 	txn := b.state.Begin()
 	for slot := req.StartSlot; slot <= req.EndSlot; slot++ {
-		demand := req.RateAt(slot)
-		view, err := netstate.NewView(b.state, slot, req.Src, req.Dst, demand, b.edgeCost(slot))
-		if err != nil {
-			txn.Rollback()
-			return router.Decision{}, fmt.Errorf("baselines: request %d slot %d: %w", req.ID, slot, err)
+		b.curRate = req.RateAt(slot)
+		b.curSlot = slot
+
+		var path graph.Path
+		var ok bool
+		var sv netstate.SlotView
+		var consumptions []netstate.Consumption
+		if b.generic {
+			view, err := netstate.NewView(b.state, slot, req.Src, req.Dst, b.curRate, b.edgeFn)
+			if err != nil {
+				txn.Rollback()
+				return router.Decision{}, fmt.Errorf("baselines: request %d slot %d: %w", req.ID, slot, err)
+			}
+			path, ok = graph.ShortestPath(view, view.SrcNode(), view.DstNode(), b.transitFn)
+			if ok {
+				consumptions = view.PathConsumptions(path)
+			}
+			sv = view
+		} else {
+			view, err := b.scratch.BuildView(b.state, slot, req.Src, req.Dst, b.curRate, b.edgeFn)
+			if err != nil {
+				txn.Rollback()
+				return router.Decision{}, fmt.Errorf("baselines: request %d slot %d: %w", req.ID, slot, err)
+			}
+			// Baselines do no admission pricing, so there is no budget
+			// to prune against.
+			path, ok, _ = view.Search(b.transitFn, 0, 0, math.Inf(1))
+			if ok {
+				b.consBuf = view.AppendConsumptions(path, b.consBuf)
+				consumptions = b.consBuf
+			}
+			sv = view
 		}
-		path, ok := b.search(view, slot, demand)
 		if !ok {
 			txn.Rollback()
 			return router.Decision{
@@ -273,14 +307,13 @@ func (b *Baseline) Handle(req workload.Request) (router.Decision, error) {
 		// A path can transit one satellite in two roles whose energy
 		// draws are individually feasible but jointly not (the transit
 		// mask checks them independently); trial the slot as a whole.
-		consumptions := view.PathConsumptions(path)
 		if err := b.state.TrialConsume(consumptions); err != nil {
 			txn.Rollback()
 			return router.Decision{
 				Reason: fmt.Sprintf("energy infeasible at slot %d: %v", slot, err),
 			}, nil
 		}
-		if err := txn.ReservePath(view, path); err != nil {
+		if err := txn.ReservePath(sv, path); err != nil {
 			txn.Rollback()
 			return router.Decision{}, fmt.Errorf("baselines: request %d commit: %w", req.ID, err)
 		}

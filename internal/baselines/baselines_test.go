@@ -347,7 +347,8 @@ func TestERAReweightsOverThresholdSatellites(t *testing.T) {
 	if err := bat.Consume(0, 5000+bat.SolarRemainingAt(0)); err != nil {
 		t.Fatal(err)
 	}
-	cost := era.edgeCost(0)
+	era.curSlot = 0
+	cost := era.edgeFn
 	over := cost(netstate.MakeLinkKey(5, 6), graph.ClassISL, 20000, 0.5)
 	fresh := cost(netstate.MakeLinkKey(7, 8), graph.ClassISL, 20000, 0.5)
 	// Over threshold: 0.15*0.5 + (1-0.15-0.7) = 0.225.
@@ -366,7 +367,8 @@ func TestECARSEdgeCostLinear(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cost := ecars.edgeCost(0)
+	ecars.curSlot = 0
+	cost := ecars.edgeFn
 	// 0.3*λ + 0.35 hop bias.
 	if got := cost(netstate.MakeLinkKey(0, 1), graph.ClassISL, 20000, 0); math.Abs(got-0.35) > 1e-9 {
 		t.Errorf("cost at λ=0: %v, want 0.35", got)

@@ -42,6 +42,26 @@ type Options struct {
 	// linear (μ−1)·λ (ablation "CEAR-LIN").
 	LinearPricing bool
 
+	// UseGenericSearch routes through the reference implementation — the
+	// Adjacency-interface netstate.View and the generic graph searches —
+	// instead of the flat CSR fast path. The two produce byte-identical
+	// decisions (asserted by the repo's equivalence tests); the generic
+	// path exists for cross-checking and debugging, not production runs.
+	UseGenericSearch bool
+	// PruneBudget enables budget pruning in the fast-path searches: a
+	// search label whose accumulated plan price already exceeds the
+	// request's valuation is abandoned, since admission would reject any
+	// completion through it. Pruning is exact — accept/reject outcomes,
+	// accepted plans and committed state are identical with it on or
+	// off; only the rejection reason may say "priced out" where an
+	// unpruned run would have finished the search first. Ignored by the
+	// generic search and when DisableAdmission is set.
+	PruneBudget bool
+	// Scratch supplies the pooled search scratch the fast path runs on.
+	// Nil allocates a private one; the experiment scheduler passes a
+	// pooled scratch so parallel runs reuse warm arrays.
+	Scratch *netstate.SearchScratch
+
 	// Obs, when non-nil, attaches admission counters and histograms
 	// (evaluations, accept/reject, slot searches, price lookups) to the
 	// registry. Nil leaves the instrumentation on its no-op fast path.
@@ -62,6 +82,19 @@ type CEAR struct {
 	cacheVals  []float64
 	cacheEpoch []uint32
 	epoch      uint32
+
+	// Routing fast-path state: the pooled search scratch, a reusable
+	// consumption buffer, and the cost/transit functions bound once at
+	// construction (method values, so the per-slot loop allocates no
+	// closures; they read curDemand/curSlot set before each search).
+	scratch   *netstate.SearchScratch
+	consBuf   []netstate.Consumption
+	edgeFn    netstate.EdgeCostFunc
+	transitFn graph.TransitCostFunc
+	curDemand float64
+	curSlot   int
+	slotSec   float64
+	energyCfg netstate.EnergyConfig
 
 	// Observability handles; all nil (no-op) without Options.Obs.
 	ctrEvaluations *obs.Counter
@@ -93,7 +126,15 @@ func New(state *netstate.State, opts Options) (*CEAR, error) {
 		fast:       opts.Pricing.Fast(),
 		cacheVals:  make([]float64, slots),
 		cacheEpoch: make([]uint32, slots),
+		scratch:    opts.Scratch,
+		slotSec:    state.Provider().Config().SlotSeconds,
+		energyCfg:  state.EnergyConfig(),
 	}
+	if c.scratch == nil {
+		c.scratch = netstate.NewSearchScratch()
+	}
+	c.edgeFn = c.priceEdgeCost
+	c.transitFn = c.priceTransit
 	if reg := opts.Obs; reg != nil {
 		c.ctrEvaluations = reg.Counter("core.admission.evaluations")
 		c.ctrAccepted = reg.Counter("core.admission.accepted")
@@ -180,6 +221,36 @@ func (c *CEAR) energyTransitCost(sat, slot int, joules float64) float64 {
 	return cost
 }
 
+// hopEpsilon breaks price ties toward shorter paths: on an idle
+// network every exponential price is exactly zero (μ^0 − 1), and
+// without a tie-break the min-price "plan" could be an arbitrarily
+// long walk that wastes bandwidth and energy network-wide. The value
+// is small enough to never override a real price difference.
+const hopEpsilon = 1e-6
+
+// priceEdgeCost is the per-edge congestion price of Eq. (10) for the
+// current slot's demand (curDemand). Bound once as c.edgeFn so the slot
+// loop passes it without allocating a closure per slot.
+func (c *CEAR) priceEdgeCost(key netstate.LinkKey, class graph.EdgeClass, capacity, utilization float64) float64 {
+	return c.congestionUnitPrice(utilization)*c.curDemand + hopEpsilon
+}
+
+// priceTransit is the memoised role-dependent energy transit cost for
+// the current (slot, demand): the epoch-stamped cache holds one entry
+// per (satellite, in, out) role and is invalidated by bumping c.epoch
+// before each search. Bound once as c.transitFn.
+func (c *CEAR) priceTransit(node int, in, out graph.EdgeClass) float64 {
+	key := node*16 + int(in)*4 + int(out)
+	if c.cacheEpoch[key] == c.epoch {
+		return c.cacheVals[key]
+	}
+	joules := c.energyCfg.TransitEnergyJ(in, out, c.curDemand, c.slotSec)
+	v := c.energyTransitCost(node, c.curSlot, joules)
+	c.cacheVals[key] = v
+	c.cacheEpoch[key] = c.epoch
+	return v
+}
+
 // Handle implements Algorithm 1 for one online request.
 func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 	if err := req.Validate(c.state.Provider().Horizon()); err != nil {
@@ -187,18 +258,15 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 	}
 	c.ctrEvaluations.Inc()
 
-	slotSec := c.state.Provider().Config().SlotSeconds
-	energyCfg := c.state.EnergyConfig()
-
 	totalPrice := 0.0
 	plan := router.Plan{Paths: make([]router.SlotPath, 0, req.DurationSlots())}
 
-	// hopEpsilon breaks price ties toward shorter paths: on an idle
-	// network every exponential price is exactly zero (μ^0 − 1), and
-	// without a tie-break the min-price "plan" could be an arbitrarily
-	// long walk that wastes bandwidth and energy network-wide. The value
-	// is small enough to never override a real price difference.
-	const hopEpsilon = 1e-6
+	// Budget pruning hands the searches the admission threshold so they
+	// can abandon provably-rejected work early; +Inf disables it.
+	budgetLimit := math.Inf(1)
+	if c.opts.PruneBudget && !c.opts.DisableAdmission {
+		budgetLimit = req.Valuation
+	}
 
 	// Lines 1-5 of Algorithm 1, with one practical refinement: slots are
 	// priced, searched and committed in order inside a transaction, so
@@ -210,43 +278,55 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 	// transaction rolls back and the network is untouched.
 	txn := c.state.Begin()
 	for slot := req.StartSlot; slot <= req.EndSlot; slot++ {
-		demand := req.RateAt(slot)
-		edgeCost := func(key netstate.LinkKey, class graph.EdgeClass, capacity, utilization float64) float64 {
-			return c.congestionUnitPrice(utilization)*demand + hopEpsilon
-		}
-		view, err := netstate.NewView(c.state, slot, req.Src, req.Dst, demand, edgeCost)
-		if err != nil {
-			txn.Rollback()
-			return router.Decision{}, fmt.Errorf("core: request %d slot %d: %w", req.ID, slot, err)
-		}
-
-		// Memoise the role-dependent energy transit cost per satellite
-		// for this search, via the epoch-stamped cache.
+		c.curDemand = req.RateAt(slot)
+		c.curSlot = slot
+		// Invalidate the per-search transit cache.
 		c.epoch++
-		epoch := c.epoch
-		transit := func(node int, in, out graph.EdgeClass) float64 {
-			key := node*16 + int(in)*4 + int(out)
-			if c.cacheEpoch[key] == epoch {
-				return c.cacheVals[key]
-			}
-			joules := energyCfg.TransitEnergyJ(in, out, demand, slotSec)
-			v := c.energyTransitCost(node, slot, joules)
-			c.cacheVals[key] = v
-			c.cacheEpoch[key] = epoch
-			return v
-		}
 
 		c.ctrSlotSearch.Inc()
 		var path graph.Path
-		var ok bool
-		if c.opts.MaxHops > 0 {
-			path, ok = graph.ShortestPathHopLimited(view, view.SrcNode(), view.DstNode(), c.opts.MaxHops, transit)
+		var ok, pruned bool
+		var sv netstate.SlotView
+		var consumptions []netstate.Consumption
+		if c.opts.UseGenericSearch {
+			view, err := netstate.NewView(c.state, slot, req.Src, req.Dst, c.curDemand, c.edgeFn)
+			if err != nil {
+				txn.Rollback()
+				return router.Decision{}, fmt.Errorf("core: request %d slot %d: %w", req.ID, slot, err)
+			}
+			if c.opts.MaxHops > 0 {
+				path, ok = graph.ShortestPathHopLimited(view, view.SrcNode(), view.DstNode(), c.opts.MaxHops, c.transitFn)
+			} else {
+				path, ok = graph.ShortestPath(view, view.SrcNode(), view.DstNode(), c.transitFn)
+			}
+			if ok {
+				consumptions = view.PathConsumptions(path)
+			}
+			sv = view
 		} else {
-			path, ok = graph.ShortestPath(view, view.SrcNode(), view.DstNode(), transit)
+			view, err := c.scratch.BuildView(c.state, slot, req.Src, req.Dst, c.curDemand, c.edgeFn)
+			if err != nil {
+				txn.Rollback()
+				return router.Decision{}, fmt.Errorf("core: request %d slot %d: %w", req.ID, slot, err)
+			}
+			path, ok, pruned = view.Search(c.transitFn, c.opts.MaxHops, totalPrice, budgetLimit)
+			if ok {
+				c.consBuf = view.AppendConsumptions(path, c.consBuf)
+				consumptions = c.consBuf
+			}
+			sv = view
 		}
 		if !ok {
 			txn.Rollback()
 			c.ctrRejected.Inc()
+			if pruned {
+				// Budget pruning proved every completion of this slot's
+				// search exceeds the valuation; classify as priced out,
+				// not unroutable.
+				return router.Decision{
+					Reason: fmt.Sprintf("plan price exceeds valuation %.3g (budget-pruned at slot %d)", req.Valuation, slot),
+				}, nil
+			}
 			return router.Decision{
 				Reason: fmt.Sprintf("no feasible path at slot %d", slot),
 			}, nil
@@ -259,7 +339,6 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 		// (e.g. ingress and egress gateway of the same slot) whose
 		// consumptions are individually feasible yet jointly not — trial
 		// the slot as a whole before committing.
-		consumptions := view.PathConsumptions(path)
 		if err := c.state.TrialConsume(consumptions); err != nil {
 			txn.Rollback()
 			c.ctrRejected.Inc()
@@ -270,7 +349,7 @@ func (c *CEAR) Handle(req workload.Request) (router.Decision, error) {
 
 		// Lines 7-16: reserve this slot's bandwidth and apply its energy
 		// consumption so the next slot's search prices the updated state.
-		if err := txn.ReservePath(view, path); err != nil {
+		if err := txn.ReservePath(sv, path); err != nil {
 			txn.Rollback()
 			return router.Decision{}, fmt.Errorf("core: request %d commit: %w", req.ID, err)
 		}

@@ -255,6 +255,50 @@ func (b *Battery) Clone() *Battery {
 	}
 }
 
+// CopyFrom overwrites this ledger with src's contents, reusing the
+// receiver's backing arrays when they have capacity. The transaction
+// layer's snapshot arena uses it to snapshot and restore batteries
+// without allocating a fresh Battery per touched satellite per request.
+func (b *Battery) CopyFrom(src *Battery) {
+	b.capacityJ = src.capacityJ
+	b.solarRemaining = append(b.solarRemaining[:0], src.solarRemaining...)
+	b.deficit = append(b.deficit[:0], src.deficit...)
+	b.clamp = src.clamp
+	b.instr = src.instr
+}
+
+// TrialConsume checks whether Consume(ta, joules) would succeed, without
+// mutating the ledger: Consume's validation and feasibility logic with
+// the commit skipped. Errors (including *DepletionError contents) and
+// instrument counts match Consume's exactly, so trialling a single
+// consumption this way is equivalent to applying it on a throwaway
+// Clone — minus the clone.
+func (b *Battery) TrialConsume(ta int, joules float64) error {
+	if joules < 0 || math.IsNaN(joules) {
+		return fmt.Errorf("energy: invalid consumption %v", joules)
+	}
+	if joules == 0 {
+		return nil
+	}
+	if ta < 0 || ta >= len(b.deficit) {
+		return fmt.Errorf("energy: slot %d outside horizon [0,%d)", ta, len(b.deficit))
+	}
+	if !b.clamp && !b.Feasible(ta, joules) {
+		var failSlot int
+		var failDeficit float64
+		b.VisitDeficit(ta, joules, func(t int, outstanding float64) bool {
+			if b.deficit[t]+outstanding > b.capacityJ {
+				failSlot, failDeficit = t, b.deficit[t]+outstanding
+				return false
+			}
+			return true
+		})
+		return &DepletionError{Slot: failSlot, DeficitJ: failDeficit, CapacityJ: b.capacityJ}
+	}
+	b.instr.countConsume()
+	return nil
+}
+
 // SolarInputVector builds a per-slot solar input vector (joules per slot)
 // from sunlit flags, a panel power in watts, and the slot length in
 // seconds. Slots in umbra harvest nothing.

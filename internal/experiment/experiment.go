@@ -16,10 +16,20 @@ import (
 	"runtime"
 	"sync"
 
+	"spacebooking/internal/netstate"
 	"spacebooking/internal/obs"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/topology"
 )
+
+// scratchPool recycles routing search scratches across jobs. This is the
+// only sync.Pool boundary of the fast path: within a run the scratch is
+// single-owner (plain fields, no synchronisation); here, where worker
+// goroutines start and finish runs, pooling lets a worker's next job
+// inherit warm arrays instead of re-growing them from zero.
+var scratchPool = sync.Pool{
+	New: func() any { return netstate.NewSearchScratch() },
+}
 
 // Job identifies one cell of an experiment matrix.
 type Job struct {
@@ -161,6 +171,11 @@ func runOne(prov *topology.Provider, i int, j Job, cfg Config) Result {
 	}
 	if cfg.Observe && rc.Obs == nil {
 		rc.Obs = obs.New()
+	}
+	if rc.Scratch == nil {
+		sc := scratchPool.Get().(*netstate.SearchScratch)
+		rc.Scratch = sc
+		defer scratchPool.Put(sc)
 	}
 	res, err := sim.Run(prov, rc)
 	return Result{Index: i, Job: j, Res: res, Obs: rc.Obs, Err: err}

@@ -30,10 +30,6 @@ func heapSizeHint(n int) int {
 	return maxHint
 }
 
-func newSearchHeap(capHint int) *searchHeap {
-	return &searchHeap{items: make([]item, 0, capHint)}
-}
-
 func (h *searchHeap) reset() { h.items = h.items[:0] }
 
 func (h *searchHeap) empty() bool { return len(h.items) == 0 }
@@ -94,13 +90,14 @@ type predLink struct {
 // Edges with +Inf cost and node transits with +Inf cost are skipped.
 // The second return value is false when dst is unreachable.
 func ShortestPath(g Adjacency, src, dst int, transit TransitCostFunc) (Path, bool) {
-	return shortestPath(g, src, dst, transit, nil)
+	return ShortestPathWith(g, src, dst, transit, nil)
 }
 
-// shortestPath is ShortestPath with an optional caller-owned heap: Yen
-// allocates one and reuses it across every spur search of its loop. A
-// nil heap allocates a fresh one.
-func shortestPath(g Adjacency, src, dst int, transit TransitCostFunc, pq *searchHeap) (Path, bool) {
+// ShortestPathWith is ShortestPath with caller-owned working memory: the
+// scratch's heap, dist and prev arrays are reused instead of allocated
+// per call. A nil scratch allocates a fresh one (the reference
+// behaviour); results are identical either way.
+func ShortestPathWith(g Adjacency, src, dst int, transit TransitCostFunc, sc *Scratch) (Path, bool) {
 	n := g.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return Path{}, false
@@ -108,28 +105,56 @@ func shortestPath(g Adjacency, src, dst int, transit TransitCostFunc, pq *search
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
 	in := instrumentsOf(g)
 	var pops int64
 
 	// State encoding: node*numClasses + int(inClass).
 	numStates := n * numClasses
-	dist := make([]float64, numStates)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	prev := make([]predLink, numStates)
-	for i := range prev {
-		prev[i].state = -1
-	}
+	sc.ensureDijkstra(numStates)
+	dist, prev := sc.dist, sc.prev
 
 	start := src*numClasses + int(ClassNone)
 	dist[start] = 0
-	if pq == nil {
-		pq = newSearchHeap(heapSizeHint(n))
-	} else {
-		pq.reset()
+	pq := &sc.heap
+	if cap(pq.items) == 0 {
+		pq.items = make([]item, 0, heapSizeHint(n))
 	}
+	pq.reset()
 	pq.push(item{state: start, dist: 0})
+
+	// The relax callback is built once and fed per-pop state through the
+	// captured locals below: VisitNeighbors takes a func value, so a
+	// closure literal inside the pop loop would escape (and allocate) on
+	// every settled state.
+	var (
+		curItem    item
+		curNode    int
+		curInClass EdgeClass
+	)
+	relax := func(e Edge) bool {
+		in.relax()
+		w := e.Cost
+		if math.IsInf(w, 1) {
+			return true
+		}
+		if transit != nil && curNode != src {
+			tc := transit(curNode, curInClass, e.Class)
+			if math.IsInf(tc, 1) {
+				return true
+			}
+			w += tc
+		}
+		nextState := e.To*numClasses + int(e.Class)
+		if nd := curItem.dist + w; nd < dist[nextState] {
+			dist[nextState] = nd
+			prev[nextState] = predLink{state: curItem.state, edge: e}
+			pq.push(item{state: nextState, dist: nd})
+		}
+		return true
+	}
 
 	for !pq.empty() {
 		cur := pq.pop()
@@ -143,30 +168,11 @@ func shortestPath(g Adjacency, src, dst int, transit TransitCostFunc, pq *search
 			// First settle of the destination is optimal over all
 			// incoming classes (dst pays no transit).
 			in.searchDone(pops)
-			return reconstruct(prev, cur.state, cur.dist), true
+			return reconstruct(prev, cur.state, cur.dist, sc), true
 		}
 
-		g.VisitNeighbors(node, func(e Edge) bool {
-			in.relax()
-			w := e.Cost
-			if math.IsInf(w, 1) {
-				return true
-			}
-			if transit != nil && node != src {
-				tc := transit(node, inClass, e.Class)
-				if math.IsInf(tc, 1) {
-					return true
-				}
-				w += tc
-			}
-			nextState := e.To*numClasses + int(e.Class)
-			if nd := cur.dist + w; nd < dist[nextState] {
-				dist[nextState] = nd
-				prev[nextState] = predLink{state: cur.state, edge: e}
-				pq.push(item{state: nextState, dist: nd})
-			}
-			return true
-		})
+		curItem, curNode, curInClass = cur, node, inClass
+		g.VisitNeighbors(node, relax)
 	}
 	in.searchDone(pops)
 	return Path{}, false
@@ -178,29 +184,22 @@ func (g *Graph) ShortestPath(src, dst int, transit TransitCostFunc) (Path, bool)
 	return ShortestPath(g, src, dst, transit)
 }
 
-// reconstruct walks predecessor links back to the source.
-func reconstruct(prev []predLink, dstState int, cost float64) Path {
-	var nodesRev []int
-	var edgesRev []Edge
+// reconstruct walks predecessor links back to the source, reversing
+// through the scratch buffers; only the returned Path slices allocate.
+func reconstruct(prev []predLink, dstState int, cost float64, sc *Scratch) Path {
+	sc.nodesRev = sc.nodesRev[:0]
+	sc.edgesRev = sc.edgesRev[:0]
 	s := dstState
 	for {
-		nodesRev = append(nodesRev, s/numClasses)
+		sc.nodesRev = append(sc.nodesRev, s/numClasses)
 		p := prev[s]
 		if p.state < 0 {
 			break
 		}
-		edgesRev = append(edgesRev, p.edge)
+		sc.edgesRev = append(sc.edgesRev, p.edge)
 		s = p.state
 	}
-	nodes := make([]int, len(nodesRev))
-	for i := range nodesRev {
-		nodes[i] = nodesRev[len(nodesRev)-1-i]
-	}
-	edges := make([]Edge, len(edgesRev))
-	for i := range edgesRev {
-		edges[i] = edgesRev[len(edgesRev)-1-i]
-	}
-	return Path{Nodes: nodes, Edges: edges, Cost: cost}
+	return sc.buildPath(cost)
 }
 
 // ShortestPathHopLimited finds the cheapest src->dst path using at most
@@ -208,6 +207,15 @@ func reconstruct(prev []predLink, dstState int, cost float64) Path {
 // states. It supports the same transit cost semantics as ShortestPath.
 // Complexity O(maxHops * E * numClasses).
 func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitCostFunc) (Path, bool) {
+	return ShortestPathHopLimitedWith(g, src, dst, maxHops, transit, nil)
+}
+
+// ShortestPathHopLimitedWith is ShortestPathHopLimited with caller-owned
+// working memory: the cur/next cost ladders and the hop-indexed
+// predecessor table — previously a fresh []pred per hop per call — come
+// from the scratch. A nil scratch allocates a fresh one; results are
+// identical either way.
+func ShortestPathHopLimitedWith(g Adjacency, src, dst, maxHops int, transit TransitCostFunc, sc *Scratch) (Path, bool) {
 	n := g.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n || maxHops < 0 {
 		return Path{}, false
@@ -215,23 +223,22 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
 	in := instrumentsOf(g)
 
 	numStates := n * numClasses
 	const inf = math.MaxFloat64
-	cur := make([]float64, numStates)
-	next := make([]float64, numStates)
+	sc.ensureHopLadders(numStates, maxHops)
+	cur, next := sc.cur, sc.next
 	for i := range cur {
 		cur[i] = inf
 		next[i] = inf
 	}
-	type pred struct {
-		hop   int
-		state int
-		edge  Edge
-	}
-	// prevAt[h][state]: how state was reached with exactly h hops.
-	prevAt := make([][]pred, maxHops+1)
+	// prevAt(h, state): how state was reached with exactly h hops; row h
+	// lives at sc.preds[h*numStates : (h+1)*numStates].
+	preds := sc.preds
 
 	startState := src*numClasses + int(ClassNone)
 	cur[startState] = 0
@@ -239,14 +246,48 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 	bestCost := inf
 	bestHop, bestState := -1, -1
 
+	// One callback serves every (hop, node, class) visit; creating the
+	// literal inside the loops would allocate a closure per visited
+	// state (it escapes through the VisitNeighbors func parameter). The
+	// captured next/row track the per-hop swaps automatically.
+	var (
+		row      []hopPred
+		curHop   int
+		curNode  int
+		curClass int
+		curState int
+		curDist  float64
+	)
+	relax := func(e Edge) bool {
+		in.relax()
+		w := e.Cost
+		if math.IsInf(w, 1) {
+			return true
+		}
+		if transit != nil && curNode != src {
+			tc := transit(curNode, EdgeClass(curClass), e.Class)
+			if math.IsInf(tc, 1) {
+				return true
+			}
+			w += tc
+		}
+		ns := e.To*numClasses + int(e.Class)
+		if nd := curDist + w; nd < next[ns] {
+			next[ns] = nd
+			row[ns] = hopPred{hop: curHop - 1, state: curState, edge: e}
+		}
+		return true
+	}
+
 	for h := 1; h <= maxHops; h++ {
 		for i := range next {
 			next[i] = inf
 		}
-		prevAt[h] = make([]pred, numStates)
-		for i := range prevAt[h] {
-			prevAt[h][i].state = -1
+		row = preds[h*numStates : (h+1)*numStates]
+		for i := range row {
+			row[i] = hopPred{state: -1}
 		}
+		curHop = h
 		for node := 0; node < n; node++ {
 			for c := 0; c < numClasses; c++ {
 				st := node*numClasses + c
@@ -254,26 +295,8 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 				if d == inf {
 					continue
 				}
-				g.VisitNeighbors(node, func(e Edge) bool {
-					in.relax()
-					w := e.Cost
-					if math.IsInf(w, 1) {
-						return true
-					}
-					if transit != nil && node != src {
-						tc := transit(node, EdgeClass(c), e.Class)
-						if math.IsInf(tc, 1) {
-							return true
-						}
-						w += tc
-					}
-					ns := e.To*numClasses + int(e.Class)
-					if nd := d + w; nd < next[ns] {
-						next[ns] = nd
-						prevAt[h][ns] = pred{hop: h - 1, state: st, edge: e}
-					}
-					return true
-				})
+				curNode, curClass, curState, curDist = node, c, st, d
+				g.VisitNeighbors(node, relax)
 			}
 		}
 		cur, next = next, cur
@@ -292,27 +315,19 @@ func ShortestPathHopLimited(g Adjacency, src, dst, maxHops int, transit TransitC
 	}
 
 	// Reconstruct through the hop-indexed predecessors.
-	nodesRev := []int{bestState / numClasses}
-	var edgesRev []Edge
+	sc.nodesRev = append(sc.nodesRev[:0], bestState/numClasses)
+	sc.edgesRev = sc.edgesRev[:0]
 	h, st := bestHop, bestState
 	for h > 0 {
-		p := prevAt[h][st]
+		p := preds[h*numStates+st]
 		if p.state < 0 {
 			break
 		}
-		edgesRev = append(edgesRev, p.edge)
-		nodesRev = append(nodesRev, p.state/numClasses)
+		sc.edgesRev = append(sc.edgesRev, p.edge)
+		sc.nodesRev = append(sc.nodesRev, p.state/numClasses)
 		h, st = p.hop, p.state
 	}
-	nodes := make([]int, len(nodesRev))
-	for i := range nodesRev {
-		nodes[i] = nodesRev[len(nodesRev)-1-i]
-	}
-	edges := make([]Edge, len(edgesRev))
-	for i := range edgesRev {
-		edges[i] = edgesRev[len(edgesRev)-1-i]
-	}
-	return Path{Nodes: nodes, Edges: edges, Cost: bestCost}, true
+	return sc.buildPath(bestCost), true
 }
 
 // ShortestPathHopLimited is the explicit-graph form of the package-level

@@ -28,6 +28,12 @@ const (
 	numClasses = 3
 )
 
+// NumClasses is the size of the edge-class value space (including
+// ClassNone). Specialised searches outside this package — the routing
+// fast path over netstate's flat slot views — use it to replicate the
+// (node, incoming-class) state encoding node*NumClasses + int(class).
+const NumClasses = numClasses
+
 // Edge is a directed edge.
 type Edge struct {
 	To      int

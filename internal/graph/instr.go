@@ -16,6 +16,13 @@ type Instruments struct {
 	EdgeRelaxations *obs.Counter
 	// YenSpurIterations counts spur-node iterations in KShortestPaths.
 	YenSpurIterations *obs.Counter
+	// FastPathSearches counts searches served by the devirtualized flat
+	// (CSR) routing fast path rather than the generic Adjacency path.
+	FastPathSearches *obs.Counter
+	// PrunedLabels counts search labels discarded by budget pruning:
+	// states whose accumulated plan price already exceeded the request's
+	// valuation, so admission would reject any completion through them.
+	PrunedLabels *obs.Counter
 }
 
 // Instrumented is the optional interface an Adjacency implements to

@@ -17,9 +17,10 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 		return nil
 	}
 	in := instrumentsOf(g)
-	// One heap serves the initial search and every spur search below.
-	pq := newSearchHeap(heapSizeHint(g.N()))
-	first, ok := shortestPath(g, src, dst, transit, pq)
+	// One scratch (heap, dist/prev arrays) serves the initial search and
+	// every spur search below.
+	sc := NewScratch()
+	first, ok := ShortestPathWith(g, src, dst, transit, sc)
 	if !ok {
 		return nil
 	}
@@ -51,7 +52,7 @@ func KShortestPaths(g Adjacency, src, dst, k int, transit TransitCostFunc) []Pat
 				mask.banNode(n)
 			}
 
-			spurPath, ok := shortestPath(mask, spurNode, dst, transit, pq)
+			spurPath, ok := ShortestPathWith(mask, spurNode, dst, transit, sc)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,742 @@
+package netstate
+
+import (
+	"fmt"
+	"math"
+
+	"spacebooking/internal/graph"
+	"spacebooking/internal/topology"
+)
+
+// This file is the routing fast path: a devirtualized twin of View plus
+// graph.ShortestPath / graph.ShortestPathHopLimited, specialised to the
+// per-slot LSN. The generic path dispatches every edge through the
+// Adjacency interface and a VisitNeighbors closure; at paper scale that
+// indirection — plus the fresh View, dist/prev arrays and heap per
+// (request, slot) — dominates every figure run. FlatView iterates the
+// provider's CSR-flattened ISL grid and the frozen USL visibility lists
+// directly, and SearchScratch owns every array the searches need,
+// epoch-stamped so reuse across slots and requests costs no clearing
+// beyond a stamp bump.
+//
+// The generic path (View + graph searches) stays as the reference
+// implementation; TestFlatViewMatchesGenericView asserts byte-identical
+// decisions between the two. Every semantic subtlety here — heap
+// comparison directions, neighbour visit order, strict-< relaxation,
+// the order of floating-point additions — deliberately replicates the
+// generic code so the equivalence holds exactly, not approximately.
+
+// flatItem is a priority-queue entry over (node, incoming-class) states.
+type flatItem struct {
+	state int32
+	dist  float64
+}
+
+// flatHeap replicates graph's searchHeap byte for byte (push `<=`,
+// pop-child `<`), so the flat Dijkstra settles equal-cost states in
+// exactly the order the generic search would.
+type flatHeap struct {
+	items []flatItem
+}
+
+func (h *flatHeap) reset() { h.items = h.items[:0] }
+
+func (h *flatHeap) push(it flatItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *flatHeap) pop() flatItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.items[r].dist < h.items[l].dist {
+			child = r
+		}
+		if h.items[i].dist <= h.items[child].dist {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+	return top
+}
+
+// flatPred records how a search state was reached.
+type flatPred struct {
+	state int32
+	edge  graph.Edge
+}
+
+// flatHopPred records how a hop-limited DP state was reached.
+type flatHopPred struct {
+	hop   int32
+	state int32
+	edge  graph.Edge
+}
+
+// SearchScratch is the pooled working memory of the routing fast path:
+// the per-slot FlatView itself, the destination-visibility stamps, the
+// per-edge price caches, and the Dijkstra / hop-limited-DP arrays. One
+// scratch serves every slot of every request of a run — arrays are
+// sized to the provider on first use and invalidated by epoch stamps
+// rather than cleared, so a warm scratch makes view construction and
+// search allocation-free.
+//
+// A SearchScratch is single-owner (one goroutine, one run at a time).
+// The experiment scheduler pools scratches at its worker boundary via
+// sync.Pool so parallel runs stay isolated; within a run, CEAR, the
+// baselines and the adaptive controller's rebuilt inner instances may
+// all share one scratch because a run handles requests sequentially.
+type SearchScratch struct {
+	view FlatView
+
+	// Sizing of the current arrays; rebuilt when the provider changes.
+	numSats   int
+	numEdges  int
+	numStates int
+
+	// viewEpoch invalidates the per-view caches (dst visibility and the
+	// demand-dependent edge prices); bumped once per BuildView.
+	viewEpoch uint32
+	dstStamp  []uint32 // dstStamp[sat]==viewEpoch: sat sees the dst
+
+	// Per-static-ISL-edge priced cost, and per-satellite dst-USL cost,
+	// memoised for the current view: a satellite can be expanded once
+	// per incoming class, and the price is state-independent within one
+	// search, so the first computation is authoritative.
+	edgeCostVal  []float64
+	edgeStamp    []uint32
+	dstCostVal   []float64
+	dstCostStamp []uint32
+
+	// searchEpoch invalidates dist/prev between searches.
+	searchEpoch uint32
+	stateStamp  []uint32
+	dist        []float64
+	prev        []flatPred
+	heap        flatHeap
+
+	// Hop-limited DP ladders: cur/next cost rows and the flattened
+	// hop-indexed predecessor table (row h at [h*numStates:(h+1)*numStates]).
+	cur   []float64
+	next  []float64
+	preds []flatHopPred
+
+	// Path-reconstruction reversal buffers.
+	nodesRev []int
+	edgesRev []graph.Edge
+
+	// uses counts views built on this scratch; builds after the first
+	// are reuses (reported through the owning state's counters).
+	uses uint64
+}
+
+// NewSearchScratch returns an empty scratch; arrays are sized by the
+// first BuildView.
+func NewSearchScratch() *SearchScratch { return &SearchScratch{} }
+
+// ensure sizes the arrays for a provider, resetting all epochs when the
+// dimensions change (a scratch may migrate between providers, e.g. via
+// the experiment scheduler's pool).
+func (sc *SearchScratch) ensure(numSats, numEdges int) {
+	numStates := (numSats + 2) * graph.NumClasses
+	if numSats == sc.numSats && numEdges == sc.numEdges {
+		return
+	}
+	sc.numSats, sc.numEdges, sc.numStates = numSats, numEdges, numStates
+	sc.dstStamp = make([]uint32, numSats)
+	sc.edgeCostVal = make([]float64, numEdges)
+	sc.edgeStamp = make([]uint32, numEdges)
+	sc.dstCostVal = make([]float64, numSats)
+	sc.dstCostStamp = make([]uint32, numSats)
+	sc.stateStamp = make([]uint32, numStates)
+	sc.dist = make([]float64, numStates)
+	sc.prev = make([]flatPred, numStates)
+	sc.viewEpoch, sc.searchEpoch = 0, 0
+	// The DP ladders are sized lazily by ensureHopLadders (most runs
+	// never use the hop-limited search).
+	sc.cur, sc.next, sc.preds = nil, nil, nil
+}
+
+// bumpViewEpoch advances the view epoch, clearing stamp arrays on the
+// (once per 2^32 views) wrap so stale stamps can never alias.
+func (sc *SearchScratch) bumpViewEpoch() {
+	sc.viewEpoch++
+	if sc.viewEpoch == 0 {
+		clearUint32(sc.dstStamp)
+		clearUint32(sc.edgeStamp)
+		clearUint32(sc.dstCostStamp)
+		sc.viewEpoch = 1
+	}
+}
+
+// bumpSearchEpoch advances the search epoch with the same wrap guard.
+func (sc *SearchScratch) bumpSearchEpoch() {
+	sc.searchEpoch++
+	if sc.searchEpoch == 0 {
+		clearUint32(sc.stateStamp)
+		sc.searchEpoch = 1
+	}
+}
+
+func clearUint32(a []uint32) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// ensureHopLadders sizes the hop-limited DP rows on demand.
+func (sc *SearchScratch) ensureHopLadders(maxHops int) {
+	if cap(sc.cur) < sc.numStates {
+		sc.cur = make([]float64, sc.numStates)
+		sc.next = make([]float64, sc.numStates)
+	}
+	sc.cur = sc.cur[:sc.numStates]
+	sc.next = sc.next[:sc.numStates]
+	total := (maxHops + 1) * sc.numStates
+	if cap(sc.preds) < total {
+		sc.preds = make([]flatHopPred, total)
+	}
+	sc.preds = sc.preds[:total]
+}
+
+// FlatView is the devirtualized twin of View: the same per-slot routing
+// graph — CSR ISL fabric plus the request's USL endpoint edges — walked
+// by the specialised searches below as direct slice iteration instead
+// of interface dispatch. It is embedded in its SearchScratch and
+// re-initialised in place by BuildView, so building one allocates
+// nothing once the scratch is warm.
+type FlatView struct {
+	sc    *SearchScratch
+	state *State
+	prov  *topology.Provider
+	csr   *topology.CSR
+
+	slot       int
+	demandMbps float64
+	cost       EdgeCostFunc
+
+	src, dst   topology.Endpoint
+	srcGID     int
+	dstGID     int
+	srcVisible []int
+	numSats    int
+}
+
+// BuildView initialises the scratch's FlatView for one (request, slot)
+// pair: the fast-path analogue of NewView. The returned view is valid
+// until the next BuildView on the same scratch.
+func (sc *SearchScratch) BuildView(state *State, slot int, src, dst topology.Endpoint, demandMbps float64, cost EdgeCostFunc) (*FlatView, error) {
+	if state == nil {
+		return nil, fmt.Errorf("netstate: nil state")
+	}
+	if cost == nil {
+		return nil, fmt.Errorf("netstate: nil cost function")
+	}
+	if demandMbps <= 0 {
+		return nil, fmt.Errorf("netstate: demand must be positive, got %v", demandMbps)
+	}
+	prov := state.prov
+	srcVis, err := prov.VisibleSats(src, slot)
+	if err != nil {
+		return nil, fmt.Errorf("netstate: source visibility: %w", err)
+	}
+	dstVis, err := prov.VisibleSats(dst, slot)
+	if err != nil {
+		return nil, fmt.Errorf("netstate: destination visibility: %w", err)
+	}
+	csr := prov.ISLCSR()
+	sc.ensure(prov.NumSats(), csr.NumEdges())
+	sc.bumpViewEpoch()
+	for _, sat := range dstVis {
+		sc.dstStamp[sat] = sc.viewEpoch
+	}
+	sc.view = FlatView{
+		sc:         sc,
+		state:      state,
+		prov:       prov,
+		csr:        csr,
+		slot:       slot,
+		demandMbps: demandMbps,
+		cost:       cost,
+		src:        src,
+		dst:        dst,
+		srcGID:     prov.GlobalID(src),
+		dstGID:     prov.GlobalID(dst),
+		srcVisible: srcVis,
+		numSats:    prov.NumSats(),
+	}
+	sc.uses++
+	if sc.uses > 1 {
+		state.instr.scratchReuses.Inc()
+	}
+	return &sc.view, nil
+}
+
+// N mirrors View.N: satellites plus the two endpoint nodes.
+func (v *FlatView) N() int { return v.numSats + 2 }
+
+// SrcNode returns the search-space node index of the request source.
+func (v *FlatView) SrcNode() int { return v.numSats }
+
+// DstNode returns the search-space node index of the request destination.
+func (v *FlatView) DstNode() int { return v.numSats + 1 }
+
+// Slot returns the slot this view prices.
+func (v *FlatView) Slot() int { return v.slot }
+
+// DemandMbps returns the per-slot demand the view was built for.
+func (v *FlatView) DemandMbps() float64 { return v.demandMbps }
+
+// globalID maps a search node to the provider's global node-ID space.
+func (v *FlatView) globalID(node int) int {
+	switch node {
+	case v.SrcNode():
+		return v.srcGID
+	case v.DstNode():
+		return v.dstGID
+	default:
+		return node
+	}
+}
+
+// LinkKeyFor returns the ledger key of the directed link between two
+// search-space nodes.
+func (v *FlatView) LinkKeyFor(from, to int) LinkKey {
+	return MakeLinkKey(v.globalID(from), v.globalID(to))
+}
+
+// priceEdge replicates View.priceEdge: capacity feasibility masks the
+// edge before the cost function prices it.
+func (v *FlatView) priceEdge(from, to int, class graph.EdgeClass) float64 {
+	key := v.LinkKeyFor(from, to)
+	capacity := v.state.linkCapacity(key)
+	used := v.state.LinkUsedMbps(key, v.slot)
+	if used+v.demandMbps > capacity*(1+1e-12) {
+		return math.Inf(1)
+	}
+	return v.cost(key, class, capacity, used/capacity)
+}
+
+// islCost returns the priced cost of CSR edge idx (sat -> to), memoised
+// per view: the price only depends on committed state, which cannot
+// change mid-search, so the first computation is authoritative.
+func (v *FlatView) islCost(idx, sat, to int) float64 {
+	sc := v.sc
+	if sc.edgeStamp[idx] == sc.viewEpoch {
+		return sc.edgeCostVal[idx]
+	}
+	c := v.priceEdge(sat, to, graph.ClassISL)
+	sc.edgeCostVal[idx] = c
+	sc.edgeStamp[idx] = sc.viewEpoch
+	return c
+}
+
+// dstCost returns the priced cost of the sat -> dst USL edge, memoised
+// per view.
+func (v *FlatView) dstCost(sat int) float64 {
+	sc := v.sc
+	if sc.dstCostStamp[sat] == sc.viewEpoch {
+		return sc.dstCostVal[sat]
+	}
+	c := v.priceEdge(sat, v.DstNode(), graph.ClassUSL)
+	sc.dstCostVal[sat] = c
+	sc.dstCostStamp[sat] = sc.viewEpoch
+	return c
+}
+
+// VisitNeighbors walks the view's edges in the exact order the search
+// kernels relax them (src: visible-sat USLs; sat: CSR ISLs, then the
+// dst USL last; dst: sink), emitting +Inf-priced edges like the generic
+// View does. The kernels do not use it — it exists so cross-check tests
+// and debugging tools can compare a FlatView against a View edge for
+// edge.
+func (v *FlatView) VisitNeighbors(node int, fn func(graph.Edge) bool) {
+	switch {
+	case node == v.SrcNode():
+		for _, sat := range v.srcVisible {
+			c := v.priceEdge(node, sat, graph.ClassUSL)
+			if !fn(graph.Edge{To: sat, Class: graph.ClassUSL, Cost: c}) {
+				return
+			}
+		}
+	case node == v.DstNode():
+		// Destination is a sink.
+	default:
+		for i, end := int(v.csr.Offsets[node]), int(v.csr.Offsets[node+1]); i < end; i++ {
+			to := int(v.csr.To[i])
+			c := v.islCost(i, node, to)
+			if !fn(graph.Edge{To: to, Class: graph.ClassISL, Cost: c}) {
+				return
+			}
+		}
+		if v.sc.dstStamp[node] == v.sc.viewEpoch {
+			c := v.dstCost(node)
+			if !fn(graph.Edge{To: v.DstNode(), Class: graph.ClassUSL, Cost: c}) {
+				return
+			}
+		}
+	}
+}
+
+// Search finds the min-cost src->dst path over this view: hop-limited DP
+// when maxHops > 0, Dijkstra otherwise — the flat twins of the generic
+// graph searches, with the same transit-cost semantics.
+//
+// budgetBase and budgetLimit implement opt-in budget pruning: labels (or
+// whole searches) whose accumulated plan price budgetBase plus current
+// cost exceeds budgetLimit are abandoned, because admission would reject
+// any completion. Pass budgetLimit = +Inf to disable. The third return
+// value reports whether pruning discarded anything: when the search then
+// fails, the caller should classify the rejection as priced-out rather
+// than no-path.
+//
+// Pruning is exact, not heuristic. Dijkstra prunes at pop time only:
+// pop costs are nondecreasing, so the first over-budget pop proves every
+// remaining completion is over budget (floating-point addition of
+// non-negative terms is monotone) — and until that point the heap's
+// dynamics are bit-identical to an unpruned run, so accepted requests
+// take exactly the same paths. The hop-limited DP prunes labels at
+// relaxation time, which is safe there because it has no heap: the
+// relaxation order is fixed by the loops, and an over-budget label can
+// never beat an under-budget one (that would require it to be strictly
+// cheaper, contradicting monotonicity).
+func (v *FlatView) Search(transit graph.TransitCostFunc, maxHops int, budgetBase, budgetLimit float64) (graph.Path, bool, bool) {
+	if maxHops > 0 {
+		return v.hopLimited(transit, maxHops, budgetBase, budgetLimit)
+	}
+	return v.dijkstra(transit, budgetBase, budgetLimit)
+}
+
+// dijkstra is the flat twin of graph.ShortestPathWith over this view.
+func (v *FlatView) dijkstra(transit graph.TransitCostFunc, budgetBase, budgetLimit float64) (graph.Path, bool, bool) {
+	sc := v.sc
+	in := v.state.GraphInstruments()
+	var pops, relaxes, prunedN int64
+	pruned := false
+
+	sc.bumpSearchEpoch()
+	epoch := sc.searchEpoch
+	dist, prev, stamp := sc.dist, sc.prev, sc.stateStamp
+
+	srcNode, dstNode := v.SrcNode(), v.DstNode()
+	start := srcNode*graph.NumClasses + int(graph.ClassNone)
+	dist[start] = 0
+	prev[start] = flatPred{state: -1}
+	stamp[start] = epoch
+
+	h := &sc.heap
+	h.reset()
+	h.push(flatItem{state: int32(start), dist: 0})
+
+	// relax mirrors the generic search's closure body: strict-< on the
+	// stamped dist, first writer wins.
+	relax := func(from int32, fromDist float64, to int, cls graph.EdgeClass, edgeCost, w float64) {
+		ns := to*graph.NumClasses + int(cls)
+		nd := fromDist + w
+		if stamp[ns] == epoch && nd >= dist[ns] {
+			return
+		}
+		dist[ns] = nd
+		prev[ns] = flatPred{state: from, edge: graph.Edge{To: to, Class: cls, Cost: edgeCost}}
+		stamp[ns] = epoch
+		h.push(flatItem{state: int32(ns), dist: nd})
+	}
+
+	var path graph.Path
+	found := false
+	for len(h.items) > 0 {
+		cur := h.pop()
+		pops++
+		st := int(cur.state)
+		if cur.dist > dist[st] {
+			continue // stale entry
+		}
+		// Budget cutoff: pop costs are nondecreasing, so once the
+		// cheapest frontier label is over budget, every completion is.
+		if budgetBase+cur.dist > budgetLimit {
+			pruned = true
+			prunedN += int64(len(h.items)) + 1
+			break
+		}
+		node := st / graph.NumClasses
+		inClass := graph.EdgeClass(st % graph.NumClasses)
+		if node == dstNode {
+			path = v.reconstruct(st, cur.dist)
+			found = true
+			break
+		}
+		switch {
+		case node == srcNode:
+			for _, sat := range v.srcVisible {
+				relaxes++
+				c := v.priceEdge(srcNode, sat, graph.ClassUSL)
+				if math.IsInf(c, 1) {
+					continue
+				}
+				// The source pays no transit (node == src in the
+				// generic search).
+				relax(cur.state, cur.dist, sat, graph.ClassUSL, c, c)
+			}
+		default:
+			sat := node
+			for i, end := int(v.csr.Offsets[sat]), int(v.csr.Offsets[sat+1]); i < end; i++ {
+				relaxes++
+				to := int(v.csr.To[i])
+				c := v.islCost(i, sat, to)
+				if math.IsInf(c, 1) {
+					continue
+				}
+				w := c
+				if transit != nil {
+					tc := transit(sat, inClass, graph.ClassISL)
+					if math.IsInf(tc, 1) {
+						continue
+					}
+					w += tc
+				}
+				relax(cur.state, cur.dist, to, graph.ClassISL, c, w)
+			}
+			if sc.dstStamp[sat] == sc.viewEpoch {
+				relaxes++
+				c := v.dstCost(sat)
+				if !math.IsInf(c, 1) {
+					w := c
+					ok := true
+					if transit != nil {
+						tc := transit(sat, inClass, graph.ClassUSL)
+						if math.IsInf(tc, 1) {
+							ok = false
+						} else {
+							w += tc
+						}
+					}
+					if ok {
+						relax(cur.state, cur.dist, dstNode, graph.ClassUSL, c, w)
+					}
+				}
+			}
+		}
+	}
+	if in != nil {
+		in.HeapPops.Add(pops)
+		in.EdgeRelaxations.Add(relaxes)
+		in.FastPathSearches.Inc()
+		in.PrunedLabels.Add(prunedN)
+	}
+	return path, found, pruned
+}
+
+// hopLimited is the flat twin of graph.ShortestPathHopLimitedWith over
+// this view.
+func (v *FlatView) hopLimited(transit graph.TransitCostFunc, maxHops int, budgetBase, budgetLimit float64) (graph.Path, bool, bool) {
+	sc := v.sc
+	in := v.state.GraphInstruments()
+	var relaxes, prunedN int64
+	prunedAny := false
+
+	numStates := sc.numStates
+	const inf = math.MaxFloat64
+	sc.ensureHopLadders(maxHops)
+	cur, next, preds := sc.cur, sc.next, sc.preds
+	for i := range cur {
+		cur[i] = inf
+		next[i] = inf
+	}
+
+	srcNode, dstNode := v.SrcNode(), v.DstNode()
+	startState := srcNode*graph.NumClasses + int(graph.ClassNone)
+	cur[startState] = 0
+
+	bestCost := inf
+	bestHop, bestState := -1, -1
+
+	for h := 1; h <= maxHops; h++ {
+		for i := range next {
+			next[i] = inf
+		}
+		row := preds[h*numStates : (h+1)*numStates]
+		for i := range row {
+			row[i] = flatHopPred{state: -1}
+		}
+		relax := func(st int, d float64, to int, cls graph.EdgeClass, edgeCost, w float64) {
+			ns := to*graph.NumClasses + int(cls)
+			nd := d + w
+			if nd >= next[ns] {
+				return
+			}
+			if budgetBase+nd > budgetLimit {
+				prunedAny = true
+				prunedN++
+				return
+			}
+			next[ns] = nd
+			row[ns] = flatHopPred{hop: int32(h - 1), state: int32(st), edge: graph.Edge{To: to, Class: cls, Cost: edgeCost}}
+		}
+		// Node-major, class-minor iteration, matching the generic DP.
+		for node := 0; node < v.numSats+2; node++ {
+			for c := 0; c < graph.NumClasses; c++ {
+				st := node*graph.NumClasses + c
+				d := cur[st]
+				if d == inf {
+					continue
+				}
+				switch {
+				case node == dstNode:
+					// Sink: no outgoing edges.
+				case node == srcNode:
+					for _, sat := range v.srcVisible {
+						relaxes++
+						ec := v.priceEdge(srcNode, sat, graph.ClassUSL)
+						if math.IsInf(ec, 1) {
+							continue
+						}
+						relax(st, d, sat, graph.ClassUSL, ec, ec)
+					}
+				default:
+					sat := node
+					for i, end := int(v.csr.Offsets[sat]), int(v.csr.Offsets[sat+1]); i < end; i++ {
+						relaxes++
+						to := int(v.csr.To[i])
+						ec := v.islCost(i, sat, to)
+						if math.IsInf(ec, 1) {
+							continue
+						}
+						w := ec
+						if transit != nil {
+							tc := transit(sat, graph.EdgeClass(c), graph.ClassISL)
+							if math.IsInf(tc, 1) {
+								continue
+							}
+							w += tc
+						}
+						relax(st, d, to, graph.ClassISL, ec, w)
+					}
+					if sc.dstStamp[sat] == sc.viewEpoch {
+						relaxes++
+						ec := v.dstCost(sat)
+						if !math.IsInf(ec, 1) {
+							w := ec
+							ok := true
+							if transit != nil {
+								tc := transit(sat, graph.EdgeClass(c), graph.ClassUSL)
+								if math.IsInf(tc, 1) {
+									ok = false
+								} else {
+									w += tc
+								}
+							}
+							if ok {
+								relax(st, d, dstNode, graph.ClassUSL, ec, w)
+							}
+						}
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		for c := 0; c < graph.NumClasses; c++ {
+			st := dstNode*graph.NumClasses + c
+			if cur[st] < bestCost {
+				bestCost = cur[st]
+				bestHop, bestState = h, st
+			}
+		}
+		// No early exit: a longer path can still be cheaper.
+	}
+
+	if in != nil {
+		in.EdgeRelaxations.Add(relaxes)
+		in.FastPathSearches.Inc()
+		in.PrunedLabels.Add(prunedN)
+	}
+	if bestState < 0 {
+		return graph.Path{}, false, prunedAny
+	}
+
+	// Reconstruct through the hop-indexed predecessors.
+	sc.nodesRev = append(sc.nodesRev[:0], bestState/graph.NumClasses)
+	sc.edgesRev = sc.edgesRev[:0]
+	h, st := bestHop, bestState
+	for h > 0 {
+		p := preds[h*numStates+st]
+		if p.state < 0 {
+			break
+		}
+		sc.edgesRev = append(sc.edgesRev, p.edge)
+		sc.nodesRev = append(sc.nodesRev, int(p.state)/graph.NumClasses)
+		h, st = int(p.hop), int(p.state)
+	}
+	return sc.buildPath(bestCost), true, prunedAny
+}
+
+// reconstruct walks the Dijkstra predecessor links back to the source.
+func (v *FlatView) reconstruct(dstState int, cost float64) graph.Path {
+	sc := v.sc
+	sc.nodesRev = sc.nodesRev[:0]
+	sc.edgesRev = sc.edgesRev[:0]
+	s := dstState
+	for {
+		sc.nodesRev = append(sc.nodesRev, s/graph.NumClasses)
+		p := sc.prev[s]
+		if p.state < 0 {
+			break
+		}
+		sc.edgesRev = append(sc.edgesRev, p.edge)
+		s = int(p.state)
+	}
+	return sc.buildPath(cost)
+}
+
+// buildPath materialises a path from the reversal buffers; only the two
+// returned slices are allocated.
+func (sc *SearchScratch) buildPath(cost float64) graph.Path {
+	nodes := make([]int, len(sc.nodesRev))
+	for i := range sc.nodesRev {
+		nodes[i] = sc.nodesRev[len(sc.nodesRev)-1-i]
+	}
+	edges := make([]graph.Edge, len(sc.edgesRev))
+	for i := range sc.edgesRev {
+		edges[i] = sc.edgesRev[len(sc.edgesRev)-1-i]
+	}
+	return graph.Path{Nodes: nodes, Edges: edges, Cost: cost}
+}
+
+// AppendConsumptions is the allocation-free twin of View.PathConsumptions:
+// it appends the path's per-satellite energy consumptions to buf (reset
+// to length zero first) and returns the extended slice, so one buffer
+// serves every slot of a run.
+func (v *FlatView) AppendConsumptions(p graph.Path, buf []Consumption) []Consumption {
+	buf = buf[:0]
+	if len(p.Nodes) < 3 {
+		return buf
+	}
+	slotSec := v.prov.Config().SlotSeconds
+	for i := 1; i < len(p.Nodes)-1; i++ {
+		sat := p.Nodes[i]
+		inClass := p.Edges[i-1].Class
+		outClass := p.Edges[i].Class
+		j := v.state.energyCfg.TransitEnergyJ(inClass, outClass, v.demandMbps, slotSec)
+		if j > 0 {
+			buf = append(buf, Consumption{Sat: sat, Slot: v.slot, Joules: j})
+		}
+	}
+	return buf
+}

@@ -123,6 +123,9 @@ type State struct {
 	links     map[LinkKey]*linkLedger
 	batteries []*energy.Battery
 	instr     stateInstruments
+	// txn is the snapshot/undo arena of the single open transaction;
+	// see txnScratch.
+	txn txnScratch
 }
 
 // stateInstruments caches the state's observability handles. All nil
@@ -132,6 +135,7 @@ type stateInstruments struct {
 	txnRollbacks  *obs.Counter
 	linkReserves  *obs.Counter
 	trialConsumes *obs.Counter
+	scratchReuses *obs.Counter
 	// graph is handed to every search run over this state's Views;
 	// energy is attached to every battery. Both are per-State handles —
 	// this is what lets concurrent runs on a shared provider count into
@@ -155,10 +159,13 @@ func (s *State) SetObs(reg *obs.Registry) {
 		txnRollbacks:  reg.Counter("netstate.txn.rollbacks"),
 		linkReserves:  reg.Counter("netstate.link.reservations"),
 		trialConsumes: reg.Counter("netstate.trial_consumes"),
+		scratchReuses: reg.Counter("netstate.scratch.reuses"),
 		graph: &graph.Instruments{
 			HeapPops:          reg.Counter("graph.dijkstra.heap_pops"),
 			EdgeRelaxations:   reg.Counter("graph.edge_relaxations"),
 			YenSpurIterations: reg.Counter("graph.yen.spur_iterations"),
+			FastPathSearches:  reg.Counter("graph.fastpath.searches"),
+			PrunedLabels:      reg.Counter("graph.fastpath.pruned_labels"),
 		},
 		energy: &energy.Instruments{
 			DeficitWalks: reg.Counter("energy.deficit_walks"),
@@ -325,6 +332,34 @@ type Consumption struct {
 // draws are individually feasible but jointly not (constraint (7c)).
 func (s *State) TrialConsume(consumptions []Consumption) error {
 	s.instr.trialConsumes.Inc()
+	// Fast path: when every consumption hits a distinct satellite (the
+	// overwhelmingly common case — only a path that transits the same
+	// satellite twice under different link classes produces duplicates),
+	// a batch trial is just independent single trials, and a single
+	// trial needs no battery clone: Battery.TrialConsume replicates
+	// Consume's feasibility check and error construction exactly. Paths
+	// are a few hops long, so the duplicate scan is a handful of
+	// comparisons, not a map.
+	dup := false
+scan:
+	for i := 1; i < len(consumptions); i++ {
+		for j := 0; j < i; j++ {
+			if consumptions[j].Sat == consumptions[i].Sat {
+				dup = true
+				break scan
+			}
+		}
+	}
+	if !dup {
+		for _, c := range consumptions {
+			if err := s.batteries[c.Sat].TrialConsume(c.Slot, c.Joules); err != nil {
+				return fmt.Errorf("netstate: satellite %d: %w", c.Sat, err)
+			}
+		}
+		return nil
+	}
+	// Slow path (duplicate satellites): the draws interact through one
+	// ledger, so replay them in slot order on a clone.
 	bySat := make(map[int][]Consumption)
 	for _, c := range consumptions {
 		bySat[c.Sat] = append(bySat[c.Sat], c)

@@ -7,20 +7,34 @@ import (
 	"spacebooking/internal/graph"
 )
 
+// SlotView is the part of a per-slot routing view the transaction layer
+// needs to reserve a path's bandwidth. Both the generic *View and the
+// fast path's *FlatView implement it.
+type SlotView interface {
+	LinkKeyFor(from, to int) LinkKey
+	Slot() int
+	DemandMbps() float64
+}
+
+var (
+	_ SlotView = (*View)(nil)
+	_ SlotView = (*FlatView)(nil)
+)
+
 // Txn is an undo log over a State, enabling commit-as-you-go request
 // admission: an algorithm reserves bandwidth and consumes energy slot by
 // slot — so each slot's path search sees the request's *own* earlier
 // consumption and can route around satellites it has already loaded —
 // and rolls everything back if a later slot proves unroutable or the
 // total price exceeds the valuation.
+//
+// The undo log and battery snapshots live in a State-owned arena reused
+// across transactions (a State supports one open transaction at a time,
+// see Begin), so admitting a request allocates no transaction-layer
+// memory once the arena is warm.
 type Txn struct {
 	state *State
-	// linkUndo records reservations to subtract on rollback.
-	linkUndo []linkReservation
-	// batterySnapshots holds pre-transaction clones of every battery the
-	// transaction touched, restored wholesale on rollback.
-	batterySnapshots map[int]*energy.Battery
-	done             bool
+	done  bool
 }
 
 type linkReservation struct {
@@ -29,25 +43,52 @@ type linkReservation struct {
 	rate float64
 }
 
+// txnScratch is the State-owned working memory of the single open
+// transaction: the link-undo log plus an epoch-stamped battery snapshot
+// arena. Snapshot batteries are allocated once per satellite ever
+// (lazily) and refilled in place via Battery.CopyFrom on later
+// transactions; stamps mark which snapshots belong to the current epoch.
+type txnScratch struct {
+	linkUndo []linkReservation
+	epoch    uint32
+	stamps   []uint32
+	snaps    []*energy.Battery
+	touched  []int
+}
+
 // Begin starts a transaction. A State supports any number of sequential
 // transactions; interleaving two open transactions on one State is a
-// caller bug.
+// caller bug (and always was — the snapshot arena just depends on it).
 func (s *State) Begin() *Txn {
-	return &Txn{state: s, batterySnapshots: make(map[int]*energy.Battery)}
+	a := &s.txn
+	a.linkUndo = a.linkUndo[:0]
+	a.touched = a.touched[:0]
+	if len(a.stamps) != len(s.batteries) {
+		a.stamps = make([]uint32, len(s.batteries))
+		a.snaps = make([]*energy.Battery, len(s.batteries))
+		a.epoch = 0
+	}
+	a.epoch++
+	if a.epoch == 0 {
+		clearUint32(a.stamps)
+		a.epoch = 1
+	}
+	return &Txn{state: s}
 }
 
 // ReservePath reserves the view's demand on every link of the path in
 // the view's slot, recording the reservations for rollback.
-func (t *Txn) ReservePath(v *View, p graph.Path) error {
+func (t *Txn) ReservePath(v SlotView, p graph.Path) error {
 	if t.done {
 		return fmt.Errorf("netstate: transaction already finished")
 	}
+	a := &t.state.txn
 	for i := 0; i < len(p.Nodes)-1; i++ {
 		key := v.LinkKeyFor(p.Nodes[i], p.Nodes[i+1])
 		if err := t.state.ReserveLink(key, v.Slot(), v.DemandMbps()); err != nil {
 			return err
 		}
-		t.linkUndo = append(t.linkUndo, linkReservation{key: key, slot: v.Slot(), rate: v.DemandMbps()})
+		a.linkUndo = append(a.linkUndo, linkReservation{key: key, slot: v.Slot(), rate: v.DemandMbps()})
 	}
 	return nil
 }
@@ -60,9 +101,17 @@ func (t *Txn) Consume(consumptions []Consumption) error {
 	if t.done {
 		return fmt.Errorf("netstate: transaction already finished")
 	}
+	a := &t.state.txn
 	for _, c := range consumptions {
-		if _, ok := t.batterySnapshots[c.Sat]; !ok {
-			t.batterySnapshots[c.Sat] = t.state.batteries[c.Sat].Clone()
+		if a.stamps[c.Sat] != a.epoch {
+			b := t.state.batteries[c.Sat]
+			if a.snaps[c.Sat] == nil {
+				a.snaps[c.Sat] = b.Clone()
+			} else {
+				a.snaps[c.Sat].CopyFrom(b)
+			}
+			a.stamps[c.Sat] = a.epoch
+			a.touched = append(a.touched, c.Sat)
 		}
 		if err := t.state.batteries[c.Sat].Consume(c.Slot, c.Joules); err != nil {
 			return fmt.Errorf("netstate: satellite %d: %w", c.Sat, err)
@@ -79,11 +128,12 @@ func (t *Txn) Rollback() {
 	}
 	t.done = true
 	t.state.instr.txnRollbacks.Inc()
-	for _, r := range t.linkUndo {
+	a := &t.state.txn
+	for _, r := range a.linkUndo {
 		t.state.unreserveLink(r.key, r.slot, r.rate)
 	}
-	for sat, snapshot := range t.batterySnapshots {
-		t.state.batteries[sat] = snapshot
+	for _, sat := range a.touched {
+		t.state.batteries[sat].CopyFrom(a.snaps[sat])
 	}
 }
 

@@ -123,6 +123,18 @@ type RunConfig struct {
 	// Fig. 7 metrics (0.1 and 0.2 in the paper).
 	CongestionThresholdFrac float64
 	DepletionThresholdFrac  float64
+	// GenericSearch routes every algorithm through the reference
+	// implementation (the Adjacency-interface views and generic graph
+	// searches) instead of the flat CSR fast path. Decisions are
+	// identical either way; the generic path exists for cross-checking.
+	GenericSearch bool
+	// PruneBudget enables budget pruning in CEAR's fast-path searches
+	// (see core.Options.PruneBudget). Outcome-preserving.
+	PruneBudget bool
+	// Scratch, when non-nil, supplies the pooled search scratch for the
+	// run's algorithm. The experiment scheduler sets it from a
+	// sync.Pool; standalone runs may leave it nil.
+	Scratch *netstate.SearchScratch
 	// Trace, when non-nil, receives one structured record per admission
 	// decision plus per-slot network snapshots.
 	Trace *trace.Writer
@@ -216,18 +228,37 @@ func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *n
 		return nil, nil, err
 	}
 	state.SetObs(rc.Obs)
+	cearOpts := core.Options{
+		Pricing:          rc.Pricing,
+		MaxHops:          rc.MaxHops,
+		UseGenericSearch: rc.GenericSearch,
+		PruneBudget:      rc.PruneBudget,
+		Scratch:          rc.Scratch,
+		Obs:              rc.Obs,
+	}
+	newBaselineAlg := func(alg *baselines.Baseline, err error) (router.Algorithm, *netstate.State, error) {
+		if err != nil {
+			return nil, nil, err
+		}
+		alg.SetGenericSearch(rc.GenericSearch)
+		alg.SetScratch(rc.Scratch)
+		return alg, state, nil
+	}
 	switch rc.Algorithm {
 	case AlgCEAR:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, Obs: rc.Obs})
+		alg, err := core.New(state, cearOpts)
 		return alg, state, err
 	case AlgCEARNoEnergy:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableEnergyPricing: true, Obs: rc.Obs})
+		cearOpts.DisableEnergyPricing = true
+		alg, err := core.New(state, cearOpts)
 		return alg, state, err
 	case AlgCEARNoAdmission:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, DisableAdmission: true, Obs: rc.Obs})
+		cearOpts.DisableAdmission = true
+		alg, err := core.New(state, cearOpts)
 		return alg, state, err
 	case AlgCEARLinear:
-		alg, err := core.New(state, core.Options{Pricing: rc.Pricing, MaxHops: rc.MaxHops, LinearPricing: true, Obs: rc.Obs})
+		cearOpts.LinearPricing = true
+		alg, err := core.New(state, cearOpts)
 		return alg, state, err
 	case AlgCEARAdaptive:
 		acfg := adaptive.DefaultConfig(rc.Workload.ArrivalRatePerSlot)
@@ -239,21 +270,20 @@ func buildAlgorithm(prov *topology.Provider, rc RunConfig) (router.Algorithm, *n
 		acfg.InitialF1 = rc.Pricing.F1
 		acfg.InitialF2 = rc.Pricing.F2
 		acfg.MaxHops = rc.MaxHops
+		acfg.UseGenericSearch = rc.GenericSearch
+		acfg.PruneBudget = rc.PruneBudget
+		acfg.Scratch = rc.Scratch
 		acfg.Obs = rc.Obs
 		alg, err := adaptive.New(state, acfg)
 		return alg, state, err
 	case AlgSSP:
-		alg, err := baselines.NewSSP(state)
-		return alg, state, err
+		return newBaselineAlg(baselines.NewSSP(state))
 	case AlgECARS:
-		alg, err := baselines.NewECARS(state, rc.Weights)
-		return alg, state, err
+		return newBaselineAlg(baselines.NewECARS(state, rc.Weights))
 	case AlgERU:
-		alg, err := baselines.NewERU(state, rc.Weights)
-		return alg, state, err
+		return newBaselineAlg(baselines.NewERU(state, rc.Weights))
 	case AlgERA:
-		alg, err := baselines.NewERA(state, rc.Weights)
-		return alg, state, err
+		return newBaselineAlg(baselines.NewERA(state, rc.Weights))
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown algorithm kind %d", rc.Algorithm)
 	}

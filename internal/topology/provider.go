@@ -125,6 +125,7 @@ type Provider struct {
 	siteECEF []geo.Vec3
 
 	islNeighbors [][]int
+	islCSR       *CSR
 	maxSlantKm   float64
 
 	// visGround[site] and visSpace[eo] are frozen per-slot visibility
@@ -222,6 +223,7 @@ func NewProvider(cfg Config, sites []grid.Site, eoFleet []orbit.Satellite) (*Pro
 	}
 
 	p.islNeighbors = islNeighbors
+	p.islCSR = buildISLCSR(islNeighbors)
 	maxAlt := cfg.Walker.AltitudeKm
 	for _, shell := range cfg.ExtraShells {
 		if shell.AltitudeKm > maxAlt {
@@ -430,6 +432,12 @@ func (p *Provider) computeVisible(e Endpoint, slot int) []int {
 // Freeze is part of construction: call it before the provider is shared
 // across goroutines. Already-frozen endpoints are skipped, so repeated
 // calls with overlapping endpoint sets are cheap.
+//
+// Together with the CSR flattening of the static ISL grid (ISLCSR,
+// built at NewProvider), frozen visibility tables are what the routing
+// fast path (netstate.FlatView) consumes: the CSR supplies the static
+// edges as contiguous arrays and the frozen tables supply the per-slot
+// USL endpoint edges, both readable without locks or interface calls.
 func (p *Provider) Freeze(workers int, endpoints ...Endpoint) error {
 	if len(endpoints) == 0 {
 		endpoints = make([]Endpoint, 0, len(p.sites)+len(p.eo))

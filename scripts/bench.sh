@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the routing fast-path benchmark suite and emit a
+# machine-readable BENCH_4.json (schema documented in EXPERIMENTS.md).
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 10x)
+#
+# The JSON is an array of {name, ns_per_op, bytes_per_op, allocs_per_op}
+# objects, one per benchmark, in run order. Only benchmarks that report
+# allocations (b.ReportAllocs or -benchmem) produce complete rows; the
+# script passes -benchmem so every row is complete.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_4.json}"
+BENCHTIME="${BENCHTIME:-10x}"
+
+# Root-package micro-benchmarks: the production CEAR request path (flat
+# scratch-pooled search, its generic reference twin, and the
+# budget-pruned variant) plus the single-search kernels.
+ROOT_PATTERN='^(BenchmarkCEARHandle|BenchmarkCEARHandleGeneric|BenchmarkCEARHandlePruned|BenchmarkViewDijkstra|BenchmarkFlatViewSearch)$'
+# Graph-package kernels: allocate-per-call vs scratch-reuse pairs.
+GRAPH_PATTERN='^(BenchmarkShortestPath|BenchmarkShortestPathScratch|BenchmarkHopLimited|BenchmarkHopLimitedScratch)$'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
+go test -run '^$' -bench "$GRAPH_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/graph/ | tee -a "$RAW"
+
+awk '
+  BEGIN { print "["; sep = "" }
+  /^Benchmark/ && NF >= 8 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      sep, name, $3, $5, $7
+    sep = ",\n"
+  }
+  END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
