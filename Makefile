@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check check-race build test vet race bench bench-smoke obsdiff-smoke
+.PHONY: check check-race build test vet fmt-check race bench bench-smoke obsdiff-smoke smoke-spaced
 
-check: vet build race bench-smoke
+check: fmt-check vet build race bench-smoke
 	@echo "check: all gates passed"
 
 build:
@@ -13,6 +13,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -28,10 +34,16 @@ check-race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Full fast-path benchmark suite; writes BENCH_4.json (see
-# EXPERIMENTS.md for the schema and scripts/bench.sh for knobs).
+# Full fast-path benchmark suite plus the serving-layer closed-loop
+# measurement; writes BENCH_5.json (see EXPERIMENTS.md for the schema
+# and scripts/bench.sh for knobs).
 bench:
 	./scripts/bench.sh
+
+# End-to-end serving smoke: build spaced + spaceload, run a short burst
+# against a live daemon, assert accepts and a clean SIGTERM drain.
+smoke-spaced:
+	./scripts/smoke_spaced.sh
 
 # Produce a tiny-run report and diff it against itself: exercises the
 # report pipeline end to end and must exit 0 (the CI smoke for the

@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"spacebooking"
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/metrics"
 	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
@@ -41,7 +46,17 @@ func run() int {
 	traceFile := flag.String("trace", "", "write a JSON-lines decision trace to this file")
 	reportFile := flag.String("report", "", "write a machine-readable JSON run report to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics.json on this address (e.g. 127.0.0.1:6060)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("cearsim"))
+		return 0
+	}
+
+	// Ctrl-C / SIGTERM cancels the run between requests instead of
+	// letting it play out to the horizon.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	scale, err := spacebooking.ParseScale(*scaleName)
 	if err != nil {
@@ -107,9 +122,12 @@ func run() int {
 		rc.Trace = tw
 	}
 
-	res, err := env.Run(rc)
+	res, err := env.RunContext(ctx, rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
 		return 1
 	}
 	if tw != nil {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"spacebooking"
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/geo"
 	"spacebooking/internal/grid"
 	"spacebooking/internal/topology"
@@ -30,7 +31,12 @@ func run() int {
 	scaleName := flag.String("scale", "small", "scale: small, medium or full")
 	slot := flag.Int("slot", 0, "time slot to inspect")
 	siteSpec := flag.String("site", "40.7,-74.0", "ground site as \"lat,lon\" for visibility report")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("constellation"))
+		return 0
+	}
 
 	scale, err := spacebooking.ParseScale(*scaleName)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"spacebooking"
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/core"
 	"spacebooking/internal/geo"
 	"spacebooking/internal/netstate"
@@ -32,7 +33,12 @@ func run() int {
 	slot := flag.Int("slot", 30, "time slot to snapshot")
 	load := flag.Float64("load", 0, "requests/min of simulated load before the snapshot (0 = pristine)")
 	out := flag.String("o", "lsnmap.svg", "output SVG file")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("lsnmap"))
+		return 0
+	}
 
 	scale, err := spacebooking.ParseScale(*scaleName)
 	if err != nil {

@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/obs"
 )
 
@@ -90,12 +91,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "print regressions only, not the full delta listing")
 	var gates gateFlags
 	fs.Var(&gates, "gate", "extra lower-is-better gate KEY=PCT (repeatable)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: obsdiff [-max-regress 5%%] [-gate KEY=PCT]... old.json new.json\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Line("obsdiff"))
+		return 0
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()

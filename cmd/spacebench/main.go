@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"spacebooking"
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/metrics"
 	"spacebooking/internal/obs"
 )
@@ -39,11 +40,16 @@ func run() int {
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	reportFile := flag.String("report", "", "write a machine-readable JSON run report to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics.json on this address (e.g. 127.0.0.1:6060)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spacebench [flags] <fig6|fig7|fig8|fig9|ablate|adaptive|competitive|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("spacebench"))
+		return 0
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return 2

@@ -1,0 +1,194 @@
+// Command spaced is the long-running booking daemon: it builds an
+// experiment environment once, keeps the admission engine resident, and
+// serves the online booking API over HTTP until it is told to drain.
+//
+// The daemon advances a slot clock at -clock-rate simulated slots per
+// wall second (a paper slot is one simulated minute), admits bookings in
+// arrival order through the same engine code path the batch simulator
+// uses, and sheds load explicitly when the ingress queue fills. SIGINT
+// or SIGTERM triggers a graceful drain: intake stops (healthz flips to
+// 503), queued bookings are still decided, then the engine runs its
+// final metrics sweep and the process exits.
+//
+// Usage:
+//
+//	spaced [-addr 127.0.0.1:8080] [-scale small|medium|full]
+//	       [-alg CEAR|SSP|ECARS|ERU|ERA|CEAR-NE|CEAR-AA|CEAR-LIN|CEAR-AD]
+//	       [-clock-rate R] [-queue-depth N] [-batch-size B]
+//	       [-valuation V] [-f1 F] [-f2 F]
+//	       [-drain-timeout D] [-report run.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spacebooking"
+	"spacebooking/internal/buildinfo"
+	"spacebooking/internal/obs"
+	"spacebooking/internal/pricing"
+	"spacebooking/internal/server"
+	"spacebooking/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address for the booking API and debug endpoints")
+	scaleName := flag.String("scale", "small", "experiment scale: small, medium or full")
+	algName := flag.String("alg", "CEAR", "algorithm: CEAR, SSP, ECARS, ERU, ERA, CEAR-NE, CEAR-AA, CEAR-LIN, CEAR-AD")
+	clockRate := flag.Float64("clock-rate", 1, "simulated slots per wall second (0 = as fast as requests arrive)")
+	queueDepth := flag.Int("queue-depth", 256, "ingress queue bound; a full queue sheds with 'overloaded'")
+	batchSize := flag.Int("batch-size", 32, "max queued bookings admitted per engine pass")
+	valuation := flag.Float64("valuation", 0, "default request valuation ρ (0 = scale default)")
+	f1 := flag.Float64("f1", 1, "bandwidth conservativeness parameter F1")
+	f2 := flag.Float64("f2", 1, "energy conservativeness parameter F2")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain queued bookings on shutdown")
+	reportFile := flag.String("report", "", "write a machine-readable JSON run report after the drain")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("spaced"))
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	scale, err := spacebooking.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	alg, err := sim.ParseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// A daemon is always observed: the registry feeds /metrics,
+	// /timeseries.json and the shutdown report.
+	reg := obs.New()
+
+	fmt.Printf("building %s environment...\n", scale)
+	env, err := spacebooking.NewEnvironment(spacebooking.EnvConfig{Scale: scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *valuation == 0 {
+		*valuation = env.DefaultValuation()
+	}
+	wl := env.WorkloadConfig(env.DefaultArrivalRate(), 101)
+	wl.Valuation = *valuation
+	rc, err := env.RunConfig(alg, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rc.Obs = reg
+	rc.Pricing, err = pricing.Derive(*f1, *f2, 20, 10)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	srv, err := server.New(server.Config{
+		Provider:   env.Provider,
+		Run:        rc,
+		ClockRate:  *clockRate,
+		QueueDepth: *queueDepth,
+		BatchSize:  *batchSize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// One listener carries the booking API and the obs debug surface
+	// (/debug/pprof/, /metrics, /metrics.json, /timeseries.json).
+	mux := obs.NewDebugMux(reg)
+	srv.Register(mux)
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(lis) }()
+
+	clockDesc := "as fast as requests arrive"
+	if *clockRate > 0 {
+		clockDesc = fmt.Sprintf("%.3g slots/s", *clockRate)
+	}
+	fmt.Printf("spaced listening on http://%s/\n", lis.Addr())
+	fmt.Printf("  algorithm   %s\n", srv.Algorithm())
+	fmt.Printf("  scale       %s (%d satellites, horizon %d slots)\n", scale, env.Provider.NumSats(), srv.Horizon())
+	fmt.Printf("  slot clock  %s\n", clockDesc)
+	fmt.Printf("  ingress     queue %d, batch %d\n", *queueDepth, *batchSize)
+	fmt.Printf("send SIGINT or SIGTERM to drain and stop\n")
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "spaced: http server: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Printf("draining (up to %v)...\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	// The engine is drained (or timed out); now stop taking connections.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	_ = httpSrv.Shutdown(httpCtx)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "spaced: %v\n", drainErr)
+		return 1
+	}
+
+	res, err := srv.Result()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	st := srv.StatsSnapshot()
+	fmt.Printf("drained: %d bookings (%d accepted, %d rejected, %d shed), revenue %.4g, welfare ratio %.4f\n",
+		st.Total, st.Accepted, st.Rejected, st.Shed, res.Revenue, res.WelfareRatio)
+
+	if *reportFile != "" {
+		rep := obs.NewReport("spaced")
+		rep.SetConfig("scale", scale.String())
+		rep.SetConfig("algorithm", srv.Algorithm())
+		rep.SetConfig("clock_rate", *clockRate)
+		rep.SetConfig("queue_depth", *queueDepth)
+		rep.SetConfig("batch_size", *batchSize)
+		rep.SetConfig("valuation", *valuation)
+		rep.SetConfig("horizon_slots", srv.Horizon())
+		rep.SetMetric("requests_total", float64(st.Total))
+		rep.SetMetric("requests_accepted", float64(st.Accepted))
+		rep.SetMetric("requests_rejected", float64(st.Rejected))
+		rep.SetMetric("requests_shed", float64(st.Shed))
+		rep.SetMetric("revenue", res.Revenue)
+		rep.SetMetric("welfare_ratio", res.WelfareRatio)
+		rep.Finish(reg)
+		if err := obs.WriteReportFile(*reportFile, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", *reportFile)
+	}
+	return 0
+}

@@ -1,0 +1,340 @@
+// Command spaceload drives a running spaced daemon with synthetic
+// booking load and reports client-observed admission latency.
+//
+// It discovers the server's bookable pairs and workload defaults from
+// GET /v1/config, synthesises a request mix with internal/workload (the
+// paper's truncated-exponential demand and uniform durations), and
+// replays it either open loop (-rate requests/second, arrivals paced
+// regardless of responses) or closed loop (-concurrency workers, each
+// waiting for its response before sending the next). Every response is
+// classified — accepted, rejected, shed ("overloaded"), draining, or
+// error — and latencies feed an obs histogram.
+//
+// The run ends after -n requests, after -duration, or on Ctrl-C,
+// whichever comes first, and prints a human summary plus one
+// machine-parseable line:
+//
+//	SUMMARY req_per_sec=... p50_ms=... p99_ms=... accepted=... rejected=... shed=... draining=... errors=...
+//
+// With -report the same numbers are written as an obs JSON report,
+// diffable with obsdiff.
+//
+// Usage:
+//
+//	spaceload [-addr http://127.0.0.1:8080] [-mode closed|open]
+//	          [-rate R] [-concurrency C] [-n N] [-duration D]
+//	          [-seed S] [-report load.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"spacebooking/internal/buildinfo"
+	"spacebooking/internal/obs"
+	"spacebooking/internal/server"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the spaced daemon")
+	mode := flag.String("mode", "closed", "load mode: closed (workers wait for responses) or open (paced arrivals)")
+	rate := flag.Float64("rate", 10, "open-loop arrival rate in requests/second")
+	concurrency := flag.Int("concurrency", 4, "closed-loop worker count (also the open-loop in-flight cap)")
+	n := flag.Int("n", 0, "stop after this many requests (0 = unbounded)")
+	duration := flag.Duration("duration", 10*time.Second, "stop after this wall time (0 = unbounded)")
+	seed := flag.Int64("seed", 1, "request-mix random seed")
+	reportFile := flag.String("report", "", "write a machine-readable JSON report of the run")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("spaceload"))
+		return 0
+	}
+	if *mode != "closed" && *mode != "open" {
+		fmt.Fprintf(os.Stderr, "spaceload: unknown mode %q (want closed or open)\n", *mode)
+		return 1
+	}
+	if *concurrency < 1 {
+		fmt.Fprintf(os.Stderr, "spaceload: concurrency %d must be positive\n", *concurrency)
+		return 1
+	}
+	if *n == 0 && *duration == 0 {
+		fmt.Fprintln(os.Stderr, "spaceload: need -n or -duration to bound the run")
+		return 1
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	cfg, err := fetchConfig(client, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	mix, err := buildMix(cfg.Workload, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("target %s: %s over %d slots, %d pairs, %d-request mix\n",
+		*addr, cfg.Algorithm, cfg.Horizon, len(cfg.Pairs), len(mix))
+
+	lg := &loadGen{
+		client: client,
+		url:    *addr + "/v1/book",
+		mix:    mix,
+		reg:    obs.New(),
+	}
+	lg.hist = lg.reg.Histogram("client.latency", nil)
+
+	start := time.Now()
+	if *mode == "closed" {
+		lg.runClosed(ctx, *concurrency, *n)
+	} else {
+		lg.runOpen(ctx, *rate, *concurrency, *n)
+	}
+	elapsed := time.Since(start)
+
+	snap := lg.hist.Snapshot()
+	completed := lg.accepted.Load() + lg.rejected.Load() + lg.shed.Load() + lg.draining.Load() + lg.errors.Load()
+	reqPerSec := float64(completed) / elapsed.Seconds()
+	fmt.Printf("\n%d requests in %v (%.1f req/s)\n", completed, elapsed.Round(time.Millisecond), reqPerSec)
+	fmt.Printf("  accepted  %d\n", lg.accepted.Load())
+	fmt.Printf("  rejected  %d\n", lg.rejected.Load())
+	fmt.Printf("  shed      %d (overloaded)\n", lg.shed.Load())
+	fmt.Printf("  draining  %d\n", lg.draining.Load())
+	fmt.Printf("  errors    %d\n", lg.errors.Load())
+	fmt.Printf("latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+		1e3*snap.P50, 1e3*snap.P95, 1e3*snap.P99, 1e3*snap.Max)
+	fmt.Printf("SUMMARY req_per_sec=%.2f p50_ms=%.3f p99_ms=%.3f accepted=%d rejected=%d shed=%d draining=%d errors=%d\n",
+		reqPerSec, 1e3*snap.P50, 1e3*snap.P99,
+		lg.accepted.Load(), lg.rejected.Load(), lg.shed.Load(), lg.draining.Load(), lg.errors.Load())
+
+	if *reportFile != "" {
+		rep := obs.NewReport("spaceload")
+		rep.SetConfig("addr", *addr)
+		rep.SetConfig("mode", *mode)
+		rep.SetConfig("rate_per_sec", *rate)
+		rep.SetConfig("concurrency", *concurrency)
+		rep.SetConfig("seed", *seed)
+		rep.SetConfig("server_algorithm", cfg.Algorithm)
+		rep.SetConfig("server_horizon", cfg.Horizon)
+		rep.SetMetric("req_per_sec", reqPerSec)
+		rep.SetMetric("p50_ms", 1e3*snap.P50)
+		rep.SetMetric("p95_ms", 1e3*snap.P95)
+		rep.SetMetric("p99_ms", 1e3*snap.P99)
+		rep.SetMetric("accepted", float64(lg.accepted.Load()))
+		rep.SetMetric("rejected", float64(lg.rejected.Load()))
+		rep.SetMetric("shed", float64(lg.shed.Load()))
+		rep.SetMetric("draining", float64(lg.draining.Load()))
+		rep.SetMetric("errors", float64(lg.errors.Load()))
+		rep.Finish(lg.reg)
+		if err := obs.WriteReportFile(*reportFile, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", *reportFile)
+	}
+	if lg.errors.Load() > 0 && completed == lg.errors.Load() {
+		return 1 // nothing but errors: the target is down
+	}
+	return 0
+}
+
+// fetchConfig asks the daemon what is bookable.
+func fetchConfig(client *http.Client, addr string) (server.ConfigResponse, error) {
+	var cfg server.ConfigResponse
+	resp, err := client.Get(addr + "/v1/config")
+	if err != nil {
+		return cfg, fmt.Errorf("spaceload: fetching %s/v1/config: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cfg, fmt.Errorf("spaceload: %s/v1/config: HTTP %d", addr, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("spaceload: decoding /v1/config: %w", err)
+	}
+	if len(cfg.Workload.Pairs) == 0 {
+		return cfg, fmt.Errorf("spaceload: server advertises no bookable pairs")
+	}
+	return cfg, nil
+}
+
+// buildMix synthesises the request pool: the server's own workload
+// distribution (demand, durations, valuation) re-seeded for this run.
+// Arrival timing is discarded — the load mode paces arrivals.
+func buildMix(wcfg workload.Config, seed int64) ([]server.BookRequest, error) {
+	wcfg.Seed = seed
+	if wcfg.ArrivalRatePerSlot <= 0 {
+		wcfg.ArrivalRatePerSlot = 10
+	}
+	reqs, err := workload.Generate(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("spaceload: generating request mix: %w", err)
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("spaceload: empty request mix (horizon %d, rate %g)", wcfg.Horizon, wcfg.ArrivalRatePerSlot)
+	}
+	mix := make([]server.BookRequest, len(reqs))
+	for i, r := range reqs {
+		mix[i] = server.BookRequest{
+			Src:           wireEndpoint(r.Src),
+			Dst:           wireEndpoint(r.Dst),
+			RateMbps:      r.RateMbps,
+			DurationSlots: r.DurationSlots(),
+			Valuation:     r.Valuation,
+		}
+	}
+	return mix, nil
+}
+
+// wireEndpoint converts a topology endpoint to its API form.
+func wireEndpoint(e topology.Endpoint) server.EndpointRef {
+	kind := "ground"
+	if e.Kind == topology.EndpointSpace {
+		kind = "space"
+	}
+	return server.EndpointRef{Kind: kind, Index: e.Index}
+}
+
+// loadGen is the shared state of the load workers.
+type loadGen struct {
+	client *http.Client
+	url    string
+	mix    []server.BookRequest
+	next   atomic.Int64 // round-robin cursor into mix
+
+	reg  *obs.Registry
+	hist *obs.Histogram
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+	shed     atomic.Int64
+	draining atomic.Int64
+	errors   atomic.Int64
+}
+
+// runClosed runs workers that each wait for a response before sending
+// the next request — throughput is whatever the server sustains.
+func (lg *loadGen) runClosed(ctx context.Context, workers, limit int) {
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if limit > 0 && sent.Add(1) > int64(limit) {
+					return
+				}
+				lg.sendOne(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen paces arrivals at the target rate regardless of responses,
+// capped at inflight concurrent requests (beyond the cap an arrival is
+// counted as a client-side error: the server was too slow to matter).
+func (lg *loadGen) runOpen(ctx context.Context, rate float64, inflight, limit int) {
+	if rate <= 0 {
+		fmt.Fprintln(os.Stderr, "spaceload: open mode needs -rate > 0")
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	sent := 0
+	for ctx.Err() == nil && (limit == 0 || sent < limit) {
+		select {
+		case <-ctx.Done():
+		case <-tick.C:
+			sent++
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					lg.sendOne(ctx)
+				}()
+			default:
+				lg.errors.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// sendOne posts the next request of the mix and classifies the outcome.
+func (lg *loadGen) sendOne(ctx context.Context) {
+	br := lg.mix[int(lg.next.Add(1)-1)%len(lg.mix)]
+	body, err := json.Marshal(br)
+	if err != nil {
+		lg.errors.Add(1)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.url, bytes.NewReader(body))
+	if err != nil {
+		lg.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			lg.errors.Add(1)
+		}
+		return
+	}
+	lg.hist.Observe(time.Since(start).Seconds())
+	var out server.BookResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if decodeErr != nil {
+		lg.errors.Add(1)
+		return
+	}
+	switch out.Status {
+	case server.StatusAccepted:
+		lg.accepted.Add(1)
+	case server.StatusRejected:
+		lg.rejected.Add(1)
+	case server.StatusOverloaded:
+		lg.shed.Add(1)
+	case server.StatusDraining:
+		lg.draining.Add(1)
+	default:
+		lg.errors.Add(1)
+	}
+}

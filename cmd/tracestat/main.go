@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/metrics"
 	"spacebooking/internal/trace"
 )
@@ -26,6 +27,10 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 1 && args[0] == "-version" {
+		fmt.Fprintln(stdout, buildinfo.Line("tracestat"))
+		return 0
+	}
 	if len(args) != 1 {
 		fmt.Fprintln(stderr, "usage: tracestat <trace.jsonl | ->")
 		return 2

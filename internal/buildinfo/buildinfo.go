@@ -1,0 +1,74 @@
+// Package buildinfo exposes the module version and VCS revision baked
+// into the binary by the Go toolchain, for the commands' shared
+// -version flag. It has no configuration and no dependencies beyond
+// runtime/debug, so every command can print an identical version line.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// read is swapped out by tests; production always reads the real build
+// info.
+var read = debug.ReadBuildInfo
+
+// Info is the subset of the binary's build metadata the commands print.
+type Info struct {
+	// Version is the main module version ("(devel)" for non-tagged
+	// builds, "unknown" when build info is unavailable).
+	Version string
+	// Revision is the VCS commit hash, suffixed with "+dirty" when the
+	// working tree had local modifications; empty when the binary was
+	// built outside a checkout.
+	Revision string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// Read collects the binary's build metadata. It never fails: missing
+// pieces degrade to "unknown"/empty rather than errors, because
+// -version must work on stripped and go-run binaries too.
+func Read() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	var revision string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" && dirty {
+		revision += "+dirty"
+	}
+	info.Revision = revision
+	return info
+}
+
+// String renders the conventional one-line form:
+// "<tool> <version> (<revision>) <goversion>".
+func (i Info) String() string {
+	if i.Revision == "" {
+		return fmt.Sprintf("%s %s", i.Version, i.GoVersion)
+	}
+	return fmt.Sprintf("%s (%s) %s", i.Version, i.Revision, i.GoVersion)
+}
+
+// Line returns the version line for one named tool.
+func Line(tool string) string {
+	return fmt.Sprintf("%s %s", tool, Read().String())
+}

@@ -1,0 +1,76 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// withBuildInfo swaps the build-info reader for the test's lifetime.
+func withBuildInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestReadUnavailable(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	info := Read()
+	if info.Version != "unknown" {
+		t.Errorf("Version = %q, want unknown", info.Version)
+	}
+	if info.Revision != "" {
+		t.Errorf("Revision = %q, want empty", info.Revision)
+	}
+	if info.GoVersion == "" {
+		t.Error("GoVersion empty, want runtime fallback")
+	}
+	if s := info.String(); !strings.Contains(s, "unknown") || strings.Contains(s, "()") {
+		t.Errorf("String() = %q, want version without empty revision parens", s)
+	}
+}
+
+func TestReadDirtyRevision(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "abc123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	info := Read()
+	if info.Version != "v1.2.3" {
+		t.Errorf("Version = %q, want v1.2.3", info.Version)
+	}
+	if info.Revision != "abc123+dirty" {
+		t.Errorf("Revision = %q, want abc123+dirty", info.Revision)
+	}
+	want := "v1.2.3 (abc123+dirty) go1.24.0"
+	if got := info.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLine(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "(devel)"},
+	}, true)
+	if got, want := Line("spaced"), "spaced (devel) go1.24.0"; got != want {
+		t.Errorf("Line() = %q, want %q", got, want)
+	}
+}
+
+// TestReadReal exercises the production reader: under `go test` build
+// info is available, so fields must be populated without panicking.
+func TestReadReal(t *testing.T) {
+	info := Read()
+	if info.GoVersion == "" {
+		t.Error("GoVersion empty under go test")
+	}
+	if info.Version == "" {
+		t.Error("Version empty, want at least a placeholder")
+	}
+}

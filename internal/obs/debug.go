@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -58,41 +61,60 @@ func newDebugMux(holder *regHolder) *http.ServeMux {
 		}
 	}
 	mux.HandleFunc("/metrics.json", withReg(func(w http.ResponseWriter, reg *Registry) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		serveBuffered(w, "application/json", reg.WriteJSON)
 	}))
 	mux.HandleFunc("/metrics", withReg(func(w http.ResponseWriter, reg *Registry) {
-		w.Header().Set("Content-Type", PromContentType)
-		if err := reg.WriteProm(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		serveBuffered(w, PromContentType, reg.WriteProm)
 	}))
 	mux.HandleFunc("/timeseries.json", withReg(func(w http.ResponseWriter, reg *Registry) {
-		w.Header().Set("Content-Type", "application/json")
-		ts := reg.Snapshot().TimeSeries
-		if ts == nil {
-			ts = map[string]SeriesSnapshot{}
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(ts); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		serveBuffered(w, "application/json", func(out io.Writer) error {
+			ts := reg.Snapshot().TimeSeries
+			if ts == nil {
+				ts = map[string]SeriesSnapshot{}
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(ts)
+		})
 	}))
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "spacebooking debug server")
-		fmt.Fprintln(w, "  /metrics          Prometheus text exposition")
-		fmt.Fprintln(w, "  /metrics.json     registry snapshot")
-		fmt.Fprintln(w, "  /timeseries.json  per-slot telemetry")
-		fmt.Fprintln(w, "  /debug/pprof/     live profiles")
+		serveBuffered(w, "text/plain; charset=utf-8", func(out io.Writer) error {
+			_, err := io.WriteString(out, debugIndex)
+			return err
+		})
 	})
 	return mux
+}
+
+// debugIndex is the plain-text landing page of the debug mux.
+const debugIndex = `spacebooking debug server
+  /metrics          Prometheus text exposition
+  /metrics.json     registry snapshot
+  /timeseries.json  per-slot telemetry
+  /debug/pprof/     live profiles
+`
+
+// serveBuffered renders the whole body before touching the response, so
+// a render failure becomes a clean 500 instead of an error message
+// appended to a half-written 200 body (headers are committed by the
+// first Write and cannot be revoked).
+func serveBuffered(w http.ResponseWriter, contentType string, render func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The client disconnected mid-response; there is no channel left
+		// to report the failure on.
+		return
+	}
 }
 
 // StartDebugServer listens on addr (e.g. "localhost:6060") and serves

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -90,6 +92,9 @@ func TestDebugMuxIndexAndNotFound(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("index status = %d", rec.Code)
 	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("index content type = %q", ct)
+	}
 	body, _ := io.ReadAll(rec.Body)
 	for _, want := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/debug/pprof/"} {
 		if !strings.Contains(string(body), want) {
@@ -98,5 +103,56 @@ func TestDebugMuxIndexAndNotFound(t *testing.T) {
 	}
 	if rec := get(t, newTestMux(), "/no/such/path"); rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown path status = %d, want 404", rec.Code)
+	}
+}
+
+// TestDebugMuxContentLength pins the buffered-response contract: every
+// debug endpoint declares an exact Content-Length matching its body, so
+// a render failure can never truncate a response mid-stream.
+func TestDebugMuxContentLength(t *testing.T) {
+	mux := newTestMux()
+	for _, path := range []string{"/", "/metrics", "/metrics.json", "/timeseries.json"} {
+		rec := get(t, mux, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", path, rec.Code)
+		}
+		cl := rec.Header().Get("Content-Length")
+		if want := strconv.Itoa(rec.Body.Len()); cl != want {
+			t.Errorf("%s Content-Length = %q, body is %s bytes", path, cl, want)
+		}
+	}
+}
+
+// TestServeBufferedRenderFailure verifies a failing renderer produces a
+// clean 500 with the error as the whole body — no half-written 200.
+func TestServeBufferedRenderFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	serveBuffered(rec, "application/json", func(w io.Writer) error {
+		io.WriteString(w, `{"partial":`) // must never reach the client
+		return errors.New("render exploded")
+	})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	body := rec.Body.String()
+	if strings.Contains(body, "partial") {
+		t.Fatalf("partial render leaked into the response: %q", body)
+	}
+	if !strings.Contains(body, "render exploded") {
+		t.Fatalf("error message missing from body: %q", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("error content type = %q", ct)
+	}
+}
+
+// TestDebugMuxNoRegistry pins the detached-registry path: 503, not a
+// panic, when no registry is attached yet.
+func TestDebugMuxNoRegistry(t *testing.T) {
+	mux := NewDebugMux(nil)
+	for _, path := range []string{"/metrics", "/metrics.json", "/timeseries.json"} {
+		if rec := get(t, mux, path); rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s with nil registry: status = %d, want 503", path, rec.Code)
+		}
 	}
 }

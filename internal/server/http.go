@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+// EndpointRef is the wire form of a request endpoint.
+type EndpointRef struct {
+	// Kind is "ground" (tiling-site index) or "space" (EO-fleet index).
+	Kind  string `json:"kind"`
+	Index int    `json:"index"`
+}
+
+// String renders the compact "kind/index" form used in reservations.
+func (e EndpointRef) String() string { return fmt.Sprintf("%s/%d", e.Kind, e.Index) }
+
+// endpoint resolves the reference against the provider's index spaces.
+func (s *Server) endpoint(e EndpointRef) (topology.Endpoint, error) {
+	var kind topology.EndpointKind
+	var limit int
+	switch e.Kind {
+	case "ground":
+		kind, limit = topology.EndpointGround, s.cfg.Provider.NumSites()
+	case "space":
+		kind, limit = topology.EndpointSpace, s.cfg.Provider.NumEO()
+	default:
+		return topology.Endpoint{}, fmt.Errorf("unknown endpoint kind %q (want ground or space)", e.Kind)
+	}
+	if e.Index < 0 || e.Index >= limit {
+		return topology.Endpoint{}, fmt.Errorf("%s index %d outside [0,%d)", e.Kind, e.Index, limit)
+	}
+	return topology.Endpoint{Kind: kind, Index: e.Index}, nil
+}
+
+// BookRequest is the body of POST /v1/book. DurationSlots sizes the
+// active window from the arrival slot; the three explicit slot fields
+// override it for replay against an arrival-driven (max speed) clock.
+type BookRequest struct {
+	Src           EndpointRef `json:"src"`
+	Dst           EndpointRef `json:"dst"`
+	RateMbps      float64     `json:"rate_mbps"`
+	DurationSlots int         `json:"duration_slots,omitempty"`
+	// Valuation defaults to the server's configured workload valuation
+	// when zero.
+	Valuation float64 `json:"valuation,omitempty"`
+	// ArrivalSlot/StartSlot/EndSlot pin the window explicitly (replay
+	// mode). Nil fields derive from the slot clock at admission time.
+	ArrivalSlot *int `json:"arrival_slot,omitempty"`
+	StartSlot   *int `json:"start_slot,omitempty"`
+	EndSlot     *int `json:"end_slot,omitempty"`
+}
+
+// BookResponse is the body of POST /v1/book: the settled reservation,
+// or the shed/draining status with no reservation attached.
+type BookResponse struct {
+	Status      string       `json:"status"`
+	Reservation *Reservation `json:"reservation,omitempty"`
+}
+
+// ConfigResponse is the body of GET /v1/config: what a load generator
+// needs to synthesise a valid workload against this server.
+type ConfigResponse struct {
+	Algorithm string          `json:"algorithm"`
+	Horizon   int             `json:"horizon"`
+	ClockRate float64         `json:"clock_rate"`
+	Pairs     []PairRef       `json:"pairs"`
+	Workload  workload.Config `json:"workload"`
+}
+
+// PairRef is one bookable source–destination pair in wire form.
+type PairRef struct {
+	Src EndpointRef `json:"src"`
+	Dst EndpointRef `json:"dst"`
+}
+
+// refOf converts a topology endpoint back to wire form.
+func refOf(e topology.Endpoint) EndpointRef {
+	kind := "ground"
+	if e.Kind == topology.EndpointSpace {
+		kind = "space"
+	}
+	return EndpointRef{Kind: kind, Index: e.Index}
+}
+
+// writeJSON writes one JSON response; encode errors past the header are
+// logged into the void (the client is gone).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorJSON writes the uniform error envelope.
+func errorJSON(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// Register mounts the booking API on mux. The caller typically passes
+// obs.NewDebugMux's mux so /v1/* rides alongside /debug/pprof/,
+// /metrics and /timeseries.json on one listener.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/book", s.handleBook)
+	mux.HandleFunc("GET /v1/reservations/{id}", s.handleReservation)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/config", s.handleConfig)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// handleBook admits one booking synchronously: enqueue, wait for the
+// engine's decision, respond. A full queue responds immediately with
+// StatusOverloaded (HTTP 429) — explicit load shedding, never blocking.
+func (s *Server) handleBook(w http.ResponseWriter, r *http.Request) {
+	var br BookRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		errorJSON(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	p, err := s.newPending(br)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch err := s.enqueue(p); err {
+	case nil:
+	case errShed:
+		writeJSON(w, http.StatusTooManyRequests, BookResponse{Status: StatusOverloaded})
+		return
+	case errDraining:
+		writeJSON(w, http.StatusServiceUnavailable, BookResponse{Status: StatusDraining})
+		return
+	default:
+		errorJSON(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	select {
+	case <-p.done:
+	case <-r.Context().Done():
+		// The client gave up; the decision is still made (admission is
+		// irrevocable) and stays queryable at /v1/reservations/{id}.
+		writeJSON(w, http.StatusAccepted, BookResponse{
+			Status:      StatusQueued,
+			Reservation: &Reservation{ID: p.id, Status: StatusQueued},
+		})
+		return
+	}
+	resv := p.resv
+	code := http.StatusOK
+	if resv.Status == StatusError {
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, BookResponse{Status: resv.Status, Reservation: &resv})
+}
+
+// newPending validates and normalises one booking into a queue entry.
+func (s *Server) newPending(br BookRequest) (*pending, error) {
+	src, err := s.endpoint(br.Src)
+	if err != nil {
+		return nil, fmt.Errorf("src: %w", err)
+	}
+	dst, err := s.endpoint(br.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("dst: %w", err)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("src and dst are the same endpoint")
+	}
+	if br.RateMbps <= 0 {
+		return nil, fmt.Errorf("rate_mbps must be positive, got %v", br.RateMbps)
+	}
+	val := br.Valuation
+	if val == 0 {
+		val = s.cfg.Run.Workload.Valuation
+	}
+	if val <= 0 {
+		return nil, fmt.Errorf("valuation must be positive, got %v", val)
+	}
+	dur := br.DurationSlots
+	if dur < 0 {
+		return nil, fmt.Errorf("duration_slots must be positive, got %d", br.DurationSlots)
+	}
+	if dur == 0 && br.EndSlot == nil {
+		dur = 1 // default: a single-slot booking starting now
+	}
+	for name, v := range map[string]*int{
+		"arrival_slot": br.ArrivalSlot, "start_slot": br.StartSlot, "end_slot": br.EndSlot,
+	} {
+		if v != nil && *v < 0 {
+			return nil, fmt.Errorf("%s must be non-negative, got %d", name, *v)
+		}
+	}
+	p := &pending{
+		id:       s.nextID.Add(1),
+		src:      src,
+		dst:      dst,
+		arrival:  br.ArrivalSlot,
+		start:    br.StartSlot,
+		end:      br.EndSlot,
+		dur:      dur,
+		rate:     br.RateMbps,
+		val:      val,
+		enqueued: s.now(),
+		done:     make(chan struct{}),
+	}
+	p.resv = Reservation{
+		ID:        p.id,
+		Status:    StatusQueued,
+		Src:       br.Src.String(),
+		Dst:       br.Dst.String(),
+		RateMbps:  br.RateMbps,
+		Valuation: val,
+	}
+	return p, nil
+}
+
+// handleReservation serves GET /v1/reservations/{id}.
+func (s *Server) handleReservation(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "invalid reservation id")
+		return
+	}
+	resv, ok := s.reservation(id)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, fmt.Sprintf("no reservation %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resv)
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// handleConfig serves GET /v1/config.
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	pairs := make([]PairRef, 0, len(s.cfg.Run.Workload.Pairs))
+	for _, p := range s.cfg.Run.Workload.Pairs {
+		pairs = append(pairs, PairRef{Src: refOf(p.Src), Dst: refOf(p.Dst)})
+	}
+	writeJSON(w, http.StatusOK, ConfigResponse{
+		Algorithm: s.eng.Algorithm(),
+		Horizon:   s.horizon,
+		ClockRate: s.cfg.ClockRate,
+		Pairs:     pairs,
+		Workload:  s.cfg.Run.Workload,
+	})
+}
+
+// handleHealthz serves GET /healthz: 200 while accepting, 503 once
+// draining (so load balancers and smoke tests see the drain).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.lifeMu.RLock()
+	draining := s.draining
+	s.lifeMu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": StatusDraining})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,462 @@
+// Package server is the online booking service of the reproduction: it
+// keeps one admission engine (sim.Engine) resident, advances a slot
+// clock in (scaled) real time, and admits booking requests as they
+// arrive instead of replaying a precomputed workload. The paper's CEAR
+// mechanism is defined online — requests are priced and accepted
+// irrevocably one at a time — and this package is the layer that serves
+// that loop to network clients.
+//
+// Architecture:
+//
+//	HTTP handlers ──► bounded ingress queue ──► engine goroutine
+//	   (many)            (backpressure:           (single writer:
+//	                      full = shed with         batches of ≤ B
+//	                      "overloaded")            through sim.Engine)
+//
+// All admission runs on one engine goroutine, preserving the paper's
+// sequential online model and the engine's single-writer contract; the
+// HTTP layer's only job is to queue, wait, and shed. Because the engine
+// is the same code path sim.Run uses, a served request stream (clock at
+// max speed, batch size 1) is bit-identical to a batch simulation of
+// the same stream.
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacebooking/internal/obs"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/workload"
+)
+
+// Reservation statuses. A reservation is created "queued" and settles
+// into exactly one terminal status.
+const (
+	StatusQueued   = "queued"
+	StatusAccepted = "accepted"
+	StatusRejected = "rejected"
+	StatusError    = "error"
+	// StatusOverloaded and StatusDraining are response-only statuses:
+	// shed requests never get a reservation.
+	StatusOverloaded = "overloaded"
+	StatusDraining   = "draining"
+)
+
+// Rejection reasons produced by the serving layer itself (the engine's
+// own reasons — "no-path", "priced-out", … — pass through unchanged).
+const (
+	// ReasonExpired marks a request whose active window had already
+	// passed when the engine got to it (deadline expiry under a
+	// real-time clock).
+	ReasonExpired = "expired"
+	// ReasonHorizonExhausted marks a request arriving after the slot
+	// clock passed the topology horizon.
+	ReasonHorizonExhausted = "horizon-exhausted"
+)
+
+// Config parameterises the booking service.
+type Config struct {
+	// Provider is the frozen topology the engine runs on. Required.
+	Provider *topology.Provider
+	// Run selects the algorithm, pricing and thresholds. Run.Workload is
+	// never used to generate requests — it only configures the algorithm
+	// (adaptive predictor rate) and supplies booking defaults (valuation,
+	// rate bounds) echoed at /v1/config.
+	Run sim.RunConfig
+	// ClockRate is the slot-clock speed in simulated slots per wall
+	// second (a paper slot is one simulated minute, so ClockRate 60
+	// compresses an hour into a minute). <= 0 means as fast as possible:
+	// the clock follows request arrival slots, the benchmarking and
+	// replay mode.
+	ClockRate float64
+	// QueueDepth bounds the ingress queue; a full queue sheds with
+	// StatusOverloaded instead of blocking. Default 256.
+	QueueDepth int
+	// BatchSize caps how many queued requests one engine pass admits
+	// back-to-back (amortising scratch reuse across the batch).
+	// Default 32.
+	BatchSize int
+	// Now is the wall clock, for tests. Default time.Now.
+	Now func() time.Time
+	// testGate, when non-nil, stalls the engine goroutine before every
+	// batch until a value (or close) arrives — deterministic
+	// backpressure and drain tests only.
+	testGate chan struct{}
+}
+
+// Reservation is the materialised outcome of one booking request. Once
+// the status is terminal the struct is immutable; handlers receive
+// copies, never shared pointers into server state.
+type Reservation struct {
+	ID          int64   `json:"id"`
+	Status      string  `json:"status"`
+	Src         string  `json:"src"`
+	Dst         string  `json:"dst"`
+	ArrivalSlot int     `json:"arrival_slot"`
+	StartSlot   int     `json:"start_slot"`
+	EndSlot     int     `json:"end_slot"`
+	RateMbps    float64 `json:"rate_mbps"`
+	Valuation   float64 `json:"valuation"`
+	Price       float64 `json:"price"`
+	Reason      string  `json:"reason,omitempty"`
+	TotalHops   int     `json:"total_hops"`
+}
+
+// pending is one ingress-queue entry: the normalised booking plus the
+// completion signal its HTTP handler waits on.
+type pending struct {
+	id  int64
+	src topology.Endpoint
+	dst topology.Endpoint
+	// explicit window from the client (nil = derive from the slot clock
+	// at admission time).
+	arrival *int
+	start   *int
+	end     *int
+	dur     int
+	rate    float64
+	val     float64
+
+	enqueued time.Time
+	resv     Reservation
+	done     chan struct{}
+}
+
+// Server is the long-running booking service.
+type Server struct {
+	cfg     Config
+	eng     *sim.Engine
+	clock   *slotClock
+	horizon int
+	now     func() time.Time
+
+	in chan *pending
+	// lifeMu guards draining and the close of in: enqueues hold it
+	// shared, Shutdown exclusively, so close never races a send.
+	lifeMu     sync.RWMutex
+	draining   bool
+	engineDone chan struct{}
+	result     *sim.Result
+	resultErr  error
+
+	resvMu sync.RWMutex
+	resvs  map[int64]Reservation
+	nextID atomic.Int64
+
+	// Instruments (nil-safe when Run.Obs is nil).
+	gQueue     *obs.Gauge
+	ctrShed    *obs.Counter
+	ctrExpired *obs.Counter
+	ctrBatches *obs.Counter
+	histAdmit  *obs.Histogram
+
+	// Stats mirrors maintained by the engine goroutine so /v1/stats
+	// never touches engine internals from another goroutine.
+	statSlot     atomic.Int64
+	statTotal    atomic.Int64
+	statAccepted atomic.Int64
+	statRejected atomic.Int64
+	statRevenue  atomic.Uint64 // math.Float64bits
+}
+
+// New builds the engine and starts the engine goroutine and slot clock.
+// The server is accepting bookings when New returns.
+func New(cfg Config) (*Server, error) {
+	if cfg.Provider == nil {
+		return nil, fmt.Errorf("server: nil provider")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("server: queue depth %d must be positive", cfg.QueueDepth)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("server: batch size %d must be positive", cfg.BatchSize)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	eng, err := sim.NewEngine(cfg.Provider, cfg.Run)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Run.Obs
+	s := &Server{
+		cfg:        cfg,
+		eng:        eng,
+		clock:      newSlotClock(cfg.ClockRate, cfg.Now()),
+		horizon:    cfg.Provider.Horizon(),
+		now:        cfg.Now,
+		in:         make(chan *pending, cfg.QueueDepth),
+		engineDone: make(chan struct{}),
+		resvs:      make(map[int64]Reservation),
+		gQueue:     reg.Gauge("server.queue_depth"),
+		ctrShed:    reg.Counter("server.shed"),
+		ctrExpired: reg.Counter("server.expired"),
+		ctrBatches: reg.Counter("server.batches"),
+		histAdmit:  reg.Histogram("server.admit_latency", nil),
+	}
+	s.statSlot.Store(-1)
+	go s.engineLoop()
+	return s, nil
+}
+
+// Algorithm returns the engine's algorithm display name.
+func (s *Server) Algorithm() string { return s.eng.Algorithm() }
+
+// Horizon returns the number of slots served.
+func (s *Server) Horizon() int { return s.horizon }
+
+// Slot returns the current slot of the service clock.
+func (s *Server) Slot() int { return s.clock.now(s.now()) }
+
+// errShed and errDraining are the enqueue outcomes the HTTP layer maps
+// to StatusOverloaded and StatusDraining.
+var (
+	errShed     = fmt.Errorf("server: ingress queue full")
+	errDraining = fmt.Errorf("server: draining")
+)
+
+// enqueue hands one pending booking to the engine goroutine without
+// ever blocking: a full queue sheds immediately (backpressure), a
+// draining server refuses.
+func (s *Server) enqueue(p *pending) error {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.in <- p:
+		s.gQueue.Set(float64(len(s.in)))
+		return nil
+	default:
+		s.ctrShed.Inc()
+		return errShed
+	}
+}
+
+// Shutdown stops intake and drains: queued requests are still admitted,
+// then the engine finishes (final metrics sweep) and the goroutine
+// exits. Blocks until the drain completes or ctx expires. Safe to call
+// more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifeMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.in)
+	}
+	s.lifeMu.Unlock()
+	select {
+	case <-s.engineDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// Result returns the engine's final simulation result. Only available
+// after Shutdown has drained.
+func (s *Server) Result() (*sim.Result, error) {
+	select {
+	case <-s.engineDone:
+		return s.result, s.resultErr
+	default:
+		return nil, fmt.Errorf("server: still serving (Result is available after Shutdown)")
+	}
+}
+
+// engineLoop is the single writer: it owns the sim.Engine, batching
+// queued requests and admitting them in arrival order. It exits when
+// the ingress channel is closed and drained, then runs the engine's
+// final sweep.
+func (s *Server) engineLoop() {
+	defer close(s.engineDone)
+	batch := make([]*pending, 0, s.cfg.BatchSize)
+	for p := range s.in {
+		if s.cfg.testGate != nil {
+			<-s.cfg.testGate
+		}
+		batch = append(batch[:0], p)
+	collect:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case q, ok := <-s.in:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, q)
+			default:
+				break collect
+			}
+		}
+		s.gQueue.Set(float64(len(s.in)))
+		s.ctrBatches.Inc()
+		s.admitBatch(batch)
+	}
+	s.result, s.resultErr = s.eng.Finish()
+}
+
+// admitBatch resolves each pending booking's window against the slot
+// clock and runs it through the engine. Engine errors are recorded on
+// the reservation (StatusError) rather than crashing the daemon — they
+// indicate bugs, and the obs counters make them visible.
+func (s *Server) admitBatch(batch []*pending) {
+	for _, p := range batch {
+		s.admitOne(p)
+	}
+}
+
+// admitOne is one request's turn on the engine goroutine.
+func (s *Server) admitOne(p *pending) {
+	defer close(p.done)
+
+	// Resolve the arrival slot: the clock's current slot, or — in
+	// arrival-driven (max speed) mode — the client's declared slot,
+	// which ratchets the clock forward. The engine requires arrivals to
+	// be non-decreasing, so a stale declared slot clamps up to the
+	// engine's current slot rather than erroring.
+	arrival := s.clock.now(s.now())
+	if !s.clock.realtime() && p.arrival != nil {
+		arrival = *p.arrival
+	}
+	if cur := s.eng.CurrentSlot(); arrival < cur {
+		arrival = cur
+	}
+	s.clock.observe(arrival)
+	s.statSlot.Store(int64(arrival))
+
+	start := arrival
+	if p.start != nil && *p.start > arrival {
+		start = *p.start
+	}
+	end := start + p.dur - 1
+	if p.end != nil {
+		end = *p.end
+	}
+	if end >= s.horizon {
+		end = s.horizon - 1
+	}
+
+	p.resv.ArrivalSlot, p.resv.StartSlot, p.resv.EndSlot = arrival, start, end
+
+	switch {
+	case arrival >= s.horizon:
+		s.finishRejected(p, ReasonHorizonExhausted)
+		return
+	case end < start:
+		// The declared deadline passed before the request reached the
+		// engine: the whole active window is in the past.
+		s.ctrExpired.Inc()
+		s.finishRejected(p, ReasonExpired)
+		return
+	}
+
+	d, err := s.eng.Admit(workload.Request{
+		ID:          int(p.id),
+		Src:         p.src,
+		Dst:         p.dst,
+		ArrivalSlot: arrival,
+		StartSlot:   start,
+		EndSlot:     end,
+		RateMbps:    p.rate,
+		Valuation:   p.val,
+	})
+	if err != nil {
+		p.resv.Status = StatusError
+		p.resv.Reason = err.Error()
+		s.store(p)
+		return
+	}
+	s.statTotal.Add(1)
+	if d.Accepted {
+		p.resv.Status = StatusAccepted
+		p.resv.Price = d.Price
+		p.resv.TotalHops = d.Plan.TotalHops()
+		s.statAccepted.Add(1)
+		s.setRevenue(s.eng.Revenue())
+	} else {
+		p.resv.Status = StatusRejected
+		p.resv.Reason = d.Reason
+		s.statRejected.Add(1)
+	}
+	s.store(p)
+}
+
+// finishRejected settles a serving-layer rejection (never shown to the
+// engine).
+func (s *Server) finishRejected(p *pending, reason string) {
+	p.resv.Status = StatusRejected
+	p.resv.Reason = reason
+	s.statTotal.Add(1)
+	s.statRejected.Add(1)
+	s.store(p)
+}
+
+// store publishes the settled reservation and records admit latency.
+func (s *Server) store(p *pending) {
+	s.histAdmit.Observe(s.now().Sub(p.enqueued).Seconds())
+	s.resvMu.Lock()
+	s.resvs[p.id] = p.resv
+	s.resvMu.Unlock()
+}
+
+// reservation returns a copy of the reservation, if known.
+func (s *Server) reservation(id int64) (Reservation, bool) {
+	s.resvMu.RLock()
+	defer s.resvMu.RUnlock()
+	r, ok := s.resvs[id]
+	return r, ok
+}
+
+// Stats is the live service snapshot behind GET /v1/stats.
+type Stats struct {
+	Algorithm     string  `json:"algorithm"`
+	Slot          int     `json:"slot"`
+	Horizon       int     `json:"horizon"`
+	ClockRate     float64 `json:"clock_rate"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	BatchSize     int     `json:"batch_size"`
+	Total         int64   `json:"requests_total"`
+	Accepted      int64   `json:"requests_accepted"`
+	Rejected      int64   `json:"requests_rejected"`
+	Shed          int64   `json:"requests_shed"`
+	Revenue       float64 `json:"revenue"`
+	Draining      bool    `json:"draining"`
+}
+
+// StatsSnapshot assembles the live counters.
+func (s *Server) StatsSnapshot() Stats {
+	s.lifeMu.RLock()
+	draining := s.draining
+	s.lifeMu.RUnlock()
+	return Stats{
+		Algorithm:     s.eng.Algorithm(),
+		Slot:          s.Slot(),
+		Horizon:       s.horizon,
+		ClockRate:     s.cfg.ClockRate,
+		QueueDepth:    len(s.in),
+		QueueCapacity: s.cfg.QueueDepth,
+		BatchSize:     s.cfg.BatchSize,
+		Total:         s.statTotal.Load(),
+		Accepted:      s.statAccepted.Load(),
+		Rejected:      s.statRejected.Load(),
+		Shed:          s.ctrShed.Value(),
+		Revenue:       s.revenue(),
+		Draining:      draining,
+	}
+}
+
+func (s *Server) setRevenue(v float64) { s.statRevenue.Store(math.Float64bits(v)) }
+func (s *Server) revenue() float64     { return math.Float64frombits(s.statRevenue.Load()) }

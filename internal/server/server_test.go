@@ -1,0 +1,584 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"spacebooking/internal/grid"
+	"spacebooking/internal/obs"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/topology"
+	"spacebooking/internal/trace"
+	"spacebooking/internal/workload"
+)
+
+var testEpoch = time.Date(2026, time.July, 5, 0, 0, 0, 0, time.UTC)
+
+// sharedProvider is built once: provider construction dominates test time.
+var (
+	provOnce   sync.Once
+	sharedProv *topology.Provider
+	provErr    error
+)
+
+func testProvider(t *testing.T) *topology.Provider {
+	t.Helper()
+	provOnce.Do(func() {
+		cfg := topology.DefaultConfig(testEpoch)
+		cfg.Walker.Planes = 8
+		cfg.Walker.SatsPerPlane = 12
+		cfg.Walker.PhasingF = 3
+		cfg.Horizon = 48
+		sharedProv, provErr = topology.NewProvider(cfg, testSites(), nil)
+	})
+	if provErr != nil {
+		t.Fatal(provErr)
+	}
+	return sharedProv
+}
+
+func testSites() []grid.Site {
+	return []grid.Site{
+		{ID: 0, LatDeg: 40.7, LonDeg: -74.0},  // New York
+		{ID: 1, LatDeg: 34.1, LonDeg: -118.2}, // Los Angeles
+		{ID: 2, LatDeg: 51.5, LonDeg: -0.1},   // London
+		{ID: 3, LatDeg: 35.7, LonDeg: 139.7},  // Tokyo
+	}
+}
+
+func testPairs() []workload.Pair {
+	ep := func(i int) topology.Endpoint {
+		return topology.Endpoint{Kind: topology.EndpointGround, Index: i}
+	}
+	return []workload.Pair{
+		{Src: ep(0), Dst: ep(1)},
+		{Src: ep(2), Dst: ep(3)},
+		{Src: ep(0), Dst: ep(3)},
+	}
+}
+
+func testRunConfig(t *testing.T, rate float64, seed int64) sim.RunConfig {
+	t.Helper()
+	wl := workload.DefaultConfig(48, testPairs(), seed)
+	wl.ArrivalRatePerSlot = rate
+	wl.Valuation = 1e8
+	rc, err := sim.DefaultRunConfig(sim.AlgCEAR, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+// newTestServer builds a server plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Provider == nil {
+		cfg.Provider = testProvider(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	s.Register(mux)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, hs
+}
+
+// postBook sends one booking and decodes the response.
+func postBook(t *testing.T, url string, br BookRequest) (int, BookResponse) {
+	t.Helper()
+	body, err := json.Marshal(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/book", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out BookResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding /v1/book response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServedStreamMatchesBatchRun is the acceptance gate of the serving
+// layer: an httptest-hosted server (clock at max speed, batch size 1)
+// admitting the workload stream of sim.Run must produce byte-identical
+// accept/reject decisions, prices, and committed state — proving the
+// batch and serving paths share one engine.
+func TestServedStreamMatchesBatchRun(t *testing.T) {
+	prov := testProvider(t)
+	rc := testRunConfig(t, 3, 1234)
+
+	// Batch path: sim.Run with a decision trace.
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	batchRC := rc
+	batchRC.Trace = tw
+	batchRes, err := sim.Run(prov, batchRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchDecisions []trace.Record
+	for _, r := range records {
+		if r.Kind == trace.KindDecision {
+			batchDecisions = append(batchDecisions, r)
+		}
+	}
+	if len(batchDecisions) == 0 {
+		t.Fatal("batch run produced no decisions; raise the arrival rate")
+	}
+
+	// Serving path: same stream over HTTP, one request at a time.
+	srv, hs := newTestServer(t, Config{Provider: prov, Run: rc, BatchSize: 1, QueueDepth: 4})
+	reqs, err := workload.Generate(rc.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != len(batchDecisions) {
+		t.Fatalf("workload has %d requests, batch trace %d decisions", len(reqs), len(batchDecisions))
+	}
+	for i, req := range reqs {
+		arrival, start, end := req.ArrivalSlot, req.StartSlot, req.EndSlot
+		code, out := postBook(t, hs.URL, BookRequest{
+			Src:         refOf(req.Src),
+			Dst:         refOf(req.Dst),
+			RateMbps:    req.RateMbps,
+			Valuation:   req.Valuation,
+			ArrivalSlot: &arrival,
+			StartSlot:   &start,
+			EndSlot:     &end,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d (%+v)", i, code, out)
+		}
+		want := batchDecisions[i]
+		got := out.Reservation
+		if got == nil {
+			t.Fatalf("request %d: no reservation in response", i)
+		}
+		if accepted := got.Status == StatusAccepted; accepted != want.Accepted {
+			t.Fatalf("request %d: served accepted=%v, batch accepted=%v", i, accepted, want.Accepted)
+		}
+		if got.Price != want.Price {
+			t.Fatalf("request %d: served price %v, batch price %v", i, got.Price, want.Price)
+		}
+		if got.Status == StatusRejected && got.Reason != want.Reason {
+			t.Fatalf("request %d: served reason %q, batch reason %q", i, got.Reason, want.Reason)
+		}
+		if got.TotalHops != want.TotalHops {
+			t.Fatalf("request %d: served hops %d, batch hops %d", i, got.TotalHops, want.TotalHops)
+		}
+	}
+
+	// Committed state: the drained server's final Result must equal the
+	// batch Result exactly (same welfare, revenue, per-slot depletion
+	// and congestion sweeps over the committed reservations).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	servedRes, err := srv.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batchRes, servedRes) {
+		t.Fatalf("served result diverges from batch result:\nbatch:  %+v\nserved: %+v", batchRes, servedRes)
+	}
+}
+
+// TestOverloadSheds verifies explicit backpressure: with the engine
+// stalled and the ingress queue full, further bookings get an immediate
+// StatusOverloaded response (HTTP 429), the server.shed counter matches
+// the client-observed sheds, and nothing blocks.
+func TestOverloadSheds(t *testing.T) {
+	rc := testRunConfig(t, 2, 7)
+	reg := obs.New()
+	rc.Obs = reg
+	gate := make(chan struct{})
+	s, hs := newTestServer(t, Config{
+		Run: rc, BatchSize: 1, QueueDepth: 2, testGate: gate,
+	})
+
+	br := func() BookRequest {
+		return BookRequest{
+			Src:      EndpointRef{Kind: "ground", Index: 0},
+			Dst:      EndpointRef{Kind: "ground", Index: 1},
+			RateMbps: 600,
+		}
+	}
+
+	// First booking: consumed by the engine goroutine, which stalls on
+	// the gate mid-batch. Its response arrives later, so post it from a
+	// goroutine.
+	firstDone := make(chan BookResponse, 1)
+	go func() {
+		_, out := postBook(t, hs.URL, br())
+		firstDone <- out
+	}()
+	// The engine parks on the gate having popped the first booking;
+	// wait until the queue is observably drained of it.
+	waitFor(t, func() bool { return len(s.in) == 0 && s.ctrBatches.Value() == 0 })
+
+	// Fill the queue to capacity; these must enqueue without shedding.
+	resps := make([]chan BookResponse, 2)
+	for i := range resps {
+		resps[i] = make(chan BookResponse, 1)
+		ch := resps[i]
+		go func() {
+			_, out := postBook(t, hs.URL, br())
+			ch <- out
+		}()
+	}
+	waitFor(t, func() bool { return len(s.in) == 2 })
+
+	// Queue full: the next bookings shed immediately.
+	const sheds = 3
+	for i := 0; i < sheds; i++ {
+		code, out := postBook(t, hs.URL, br())
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("shed %d: HTTP %d, want 429", i, code)
+		}
+		if out.Status != StatusOverloaded {
+			t.Fatalf("shed %d: status %q, want %q", i, out.Status, StatusOverloaded)
+		}
+		if out.Reservation != nil {
+			t.Fatalf("shed %d: shed response carries a reservation", i)
+		}
+	}
+	if got := reg.Counter("server.shed").Value(); got != sheds {
+		t.Errorf("server.shed = %d, want %d (must match client-observed sheds)", got, sheds)
+	}
+
+	// Open the gate: every queued booking settles.
+	close(gate)
+	for i, ch := range append([]chan BookResponse{firstDone}, resps...) {
+		select {
+		case out := <-ch:
+			if out.Status != StatusAccepted && out.Status != StatusRejected {
+				t.Errorf("queued booking %d settled as %q", i, out.Status)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("queued booking %d never settled", i)
+		}
+	}
+}
+
+// TestGracefulDrain verifies drain-then-stop: Shutdown stops intake
+// (healthz 503, bookings refused with StatusDraining) but every already
+// queued request is still decided before Shutdown returns.
+func TestGracefulDrain(t *testing.T) {
+	rc := testRunConfig(t, 2, 8)
+	gate := make(chan struct{})
+	s, hs := newTestServer(t, Config{
+		Run: rc, BatchSize: 1, QueueDepth: 4, testGate: gate,
+	})
+
+	br := BookRequest{
+		Src:      EndpointRef{Kind: "ground", Index: 2},
+		Dst:      EndpointRef{Kind: "ground", Index: 3},
+		RateMbps: 700,
+	}
+	// Queue two bookings behind the stalled engine.
+	out1, out2 := make(chan BookResponse, 1), make(chan BookResponse, 1)
+	for _, ch := range []chan BookResponse{out1, out2} {
+		ch := ch
+		go func() {
+			_, out := postBook(t, hs.URL, br)
+			ch <- out
+		}()
+	}
+	waitFor(t, func() bool { return len(s.in) >= 1 && s.ctrBatches.Value() == 0 })
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	// Draining: new intake refused, health reports it.
+	waitFor(t, func() bool {
+		resp, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	code, out := postBook(t, hs.URL, br)
+	if code != http.StatusServiceUnavailable || out.Status != StatusDraining {
+		t.Fatalf("booking while draining: HTTP %d status %q, want 503 %q", code, out.Status, StatusDraining)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i, ch := range []chan BookResponse{out1, out2} {
+		select {
+		case got := <-ch:
+			if got.Status != StatusAccepted && got.Status != StatusRejected {
+				t.Errorf("in-flight booking %d settled as %q, want a decision", i, got.Status)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("in-flight booking %d lost during drain", i)
+		}
+	}
+	if res, err := s.Result(); err != nil || res == nil {
+		t.Fatalf("Result after drain: %v, %v", res, err)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestRealtimeClockExpiry drives a real-time clock with a fake time
+// source: requests whose declared window has wholly passed are rejected
+// as expired without touching the engine, and arrivals past the horizon
+// are rejected as horizon-exhausted.
+func TestRealtimeClockExpiry(t *testing.T) {
+	rc := testRunConfig(t, 2, 9)
+	reg := obs.New()
+	rc.Obs = reg
+	var mu sync.Mutex
+	now := testEpoch
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	_, hs := newTestServer(t, Config{
+		Run:       rc,
+		ClockRate: 1, // one slot per second
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+	})
+
+	// Clock at slot 10: a window declared as [2,5] has expired.
+	advance(10 * time.Second)
+	start, end := 2, 5
+	code, out := postBook(t, hs.URL, BookRequest{
+		Src:       EndpointRef{Kind: "ground", Index: 0},
+		Dst:       EndpointRef{Kind: "ground", Index: 1},
+		RateMbps:  600,
+		StartSlot: &start, EndSlot: &end,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("expired booking: HTTP %d", code)
+	}
+	if out.Status != StatusRejected || out.Reservation.Reason != ReasonExpired {
+		t.Fatalf("expired booking: %+v, want rejected/%s", out, ReasonExpired)
+	}
+	if out.Reservation.ArrivalSlot != 10 {
+		t.Errorf("expired booking arrival slot = %d, want 10", out.Reservation.ArrivalSlot)
+	}
+	if got := reg.Counter("server.expired").Value(); got != 1 {
+		t.Errorf("server.expired = %d, want 1", got)
+	}
+
+	// A fresh booking at slot 10 reaches the engine and gets a real
+	// decision.
+	code, out = postBook(t, hs.URL, BookRequest{
+		Src:      EndpointRef{Kind: "ground", Index: 0},
+		Dst:      EndpointRef{Kind: "ground", Index: 1},
+		RateMbps: 600, DurationSlots: 3,
+	})
+	if code != http.StatusOK || (out.Status != StatusAccepted && out.Status != StatusRejected) {
+		t.Fatalf("live booking: HTTP %d %+v", code, out)
+	}
+	if out.Status == StatusAccepted && out.Reservation.Price <= 0 {
+		t.Errorf("accepted booking has price %v, want > 0", out.Reservation.Price)
+	}
+
+	// Clock past the horizon: bookings are horizon-exhausted.
+	advance(time.Duration(48) * time.Second)
+	code, out = postBook(t, hs.URL, BookRequest{
+		Src:      EndpointRef{Kind: "ground", Index: 0},
+		Dst:      EndpointRef{Kind: "ground", Index: 1},
+		RateMbps: 600,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("post-horizon booking: HTTP %d", code)
+	}
+	if out.Status != StatusRejected || out.Reservation.Reason != ReasonHorizonExhausted {
+		t.Fatalf("post-horizon booking: %+v, want rejected/%s", out, ReasonHorizonExhausted)
+	}
+}
+
+// TestAPIEndpoints covers the read-side API: reservations round-trip,
+// stats fields, config echo, validation failures.
+func TestAPIEndpoints(t *testing.T) {
+	rc := testRunConfig(t, 2, 10)
+	reg := obs.New()
+	rc.Obs = reg
+	s, hs := newTestServer(t, Config{Run: rc, QueueDepth: 8})
+
+	// Validation failures are 400 with an error body.
+	for name, br := range map[string]BookRequest{
+		"bad kind":  {Src: EndpointRef{Kind: "lunar", Index: 0}, Dst: EndpointRef{Kind: "ground", Index: 1}, RateMbps: 1},
+		"bad index": {Src: EndpointRef{Kind: "ground", Index: 99}, Dst: EndpointRef{Kind: "ground", Index: 1}, RateMbps: 1},
+		"same src":  {Src: EndpointRef{Kind: "ground", Index: 1}, Dst: EndpointRef{Kind: "ground", Index: 1}, RateMbps: 1},
+		"zero rate": {Src: EndpointRef{Kind: "ground", Index: 0}, Dst: EndpointRef{Kind: "ground", Index: 1}},
+		"neg dur":   {Src: EndpointRef{Kind: "ground", Index: 0}, Dst: EndpointRef{Kind: "ground", Index: 1}, RateMbps: 1, DurationSlots: -2},
+	} {
+		if code, _ := postBook(t, hs.URL, br); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, code)
+		}
+	}
+	resp, err := http.Post(hs.URL+"/v1/book", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// A real booking is retrievable by id.
+	code, out := postBook(t, hs.URL, BookRequest{
+		Src:      EndpointRef{Kind: "ground", Index: 0},
+		Dst:      EndpointRef{Kind: "ground", Index: 3},
+		RateMbps: 800, DurationSlots: 2,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("booking: HTTP %d", code)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/reservations/%d", hs.URL, out.Reservation.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Reservation
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reflect.DeepEqual(got, *out.Reservation) {
+		t.Errorf("reservation lookup = %+v, want %+v", got, *out.Reservation)
+	}
+
+	// Unknown and malformed ids.
+	for _, path := range []string{"/v1/reservations/424242", "/v1/reservations/abc"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: HTTP %d, want 404/400", path, resp.StatusCode)
+		}
+	}
+
+	// Stats reflect the decided booking.
+	resp, err = http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Total != 1 || st.Algorithm != s.Algorithm() || st.Horizon != 48 || st.QueueCapacity != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Config exposes the bookable pairs and workload defaults.
+	resp, err = http.Get(hs.URL + "/v1/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgOut ConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cfgOut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(cfgOut.Pairs) != len(testPairs()) || cfgOut.Horizon != 48 {
+		t.Errorf("config = %+v", cfgOut)
+	}
+	if cfgOut.Workload.Valuation != rc.Workload.Valuation {
+		t.Errorf("config valuation = %v, want %v", cfgOut.Workload.Valuation, rc.Workload.Valuation)
+	}
+
+	// The admit-latency histogram saw the decided booking.
+	if got := reg.Histogram("server.admit_latency", nil).Count(); got < 1 {
+		t.Errorf("server.admit_latency count = %d, want >= 1", got)
+	}
+}
+
+// TestSlotClock pins both clock modes.
+func TestSlotClock(t *testing.T) {
+	base := testEpoch
+	rt := newSlotClock(2, base) // two slots per second
+	if !rt.realtime() {
+		t.Fatal("rate 2 should be a real-time clock")
+	}
+	for _, tc := range []struct {
+		after time.Duration
+		want  int
+	}{
+		{0, 0}, {499 * time.Millisecond, 0}, {500 * time.Millisecond, 1},
+		{3 * time.Second, 6}, {-time.Second, 0},
+	} {
+		if got := rt.now(base.Add(tc.after)); got != tc.want {
+			t.Errorf("realtime now(+%v) = %d, want %d", tc.after, got, tc.want)
+		}
+	}
+	rt.observe(99) // must be ignored
+	if got := rt.now(base); got != 0 {
+		t.Errorf("realtime clock moved on observe: %d", got)
+	}
+
+	mx := newSlotClock(0, base)
+	if mx.realtime() {
+		t.Fatal("rate 0 should be arrival-driven")
+	}
+	if got := mx.now(base.Add(time.Hour)); got != 0 {
+		t.Errorf("arrival-driven clock advanced with wall time: %d", got)
+	}
+	mx.observe(7)
+	mx.observe(3) // never backwards
+	if got := mx.now(base); got != 7 {
+		t.Errorf("arrival-driven now = %d, want 7", got)
+	}
+}
+
+// waitFor polls cond until true or the deadline trips.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

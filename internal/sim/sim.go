@@ -7,9 +7,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"time"
 
 	"spacebooking/internal/adaptive"
 	"spacebooking/internal/baselines"
@@ -305,220 +305,37 @@ func classifyReason(reason string) string {
 
 // Run executes one complete simulation: generate the workload, process
 // every request online, then sweep the final state for the per-slot
-// metrics.
+// metrics. It is RunContext with a background context.
 func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
-	if prov == nil {
-		return nil, fmt.Errorf("sim: nil provider")
-	}
-	if rc.CongestionThresholdFrac <= 0 || rc.DepletionThresholdFrac <= 0 {
-		return nil, fmt.Errorf("sim: thresholds must be positive (congestion %v, depletion %v)",
-			rc.CongestionThresholdFrac, rc.DepletionThresholdFrac)
-	}
+	return RunContext(context.Background(), prov, rc)
+}
+
+// RunContext is Run with cooperative cancellation: the admission loop
+// checks ctx between requests and returns ctx's error as soon as it is
+// cancelled, so a serving daemon (or Ctrl-C on cearsim) can stop a run
+// mid-stream without waiting for the horizon to play out.
+//
+// The whole admission path is the shared Engine — RunContext is nothing
+// but "generate, Admit in a loop, Finish", so batch simulation and the
+// online booking server cannot diverge.
+func RunContext(ctx context.Context, prov *topology.Provider, rc RunConfig) (*Result, error) {
 	wlSpan := rc.Obs.StartPhase("workload_generate")
 	reqs, err := workload.Generate(rc.Workload)
 	wlSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	buildSpan := rc.Obs.StartPhase("state_build")
-	alg, state, err := buildAlgorithm(prov, rc)
-	buildSpan.End()
+	eng, err := NewEngine(prov, rc)
 	if err != nil {
 		return nil, err
 	}
-
-	horizon := prov.Horizon()
-	res := &Result{
-		Algorithm:     alg.Name(),
-		TotalRequests: len(reqs),
-		Rejections:    make(map[string]int),
-	}
-	// Per-arrival-slot aggregates for the cumulative welfare series.
-	arrivedVal := make([]float64, horizon)
-	acceptedVal := make([]float64, horizon)
-	totalHops, totalSlotPaths := 0, 0
-	totalLatency := 0.0
-
-	if rc.Trace != nil {
-		if err := rc.Trace.Emit(trace.Record{
-			Kind:      trace.KindRunInfo,
-			Algorithm: alg.Name(),
-			Rate:      rc.Workload.ArrivalRatePerSlot,
-			Seed:      rc.Workload.Seed,
-		}); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-	}
-
-	// Per-slot loop instrumentation: admitted/rejected-by-reason
-	// counters, a wall-time histogram over arrival-slot groups (requests
-	// are generated in arrival order), and the time-series sampler fed
-	// exactly once per slot — including request-free slots, so every
-	// series has one sample per horizon slot. All nil-safe; the clock is
-	// only read and samples only recorded when a registry is attached.
-	sampler := rc.Obs.Sampler(horizon)
-	var (
-		ctrTotal     = rc.Obs.Counter("sim.requests.total")
-		ctrAccepted  = rc.Obs.Counter("sim.requests.accepted")
-		histSlotTime = rc.Obs.Histogram("sim.slot_seconds", nil)
-		tsAccepted   = sampler.Series("slot.accepted")
-		tsRejected   = sampler.Series("slot.rejected")
-		tsRevenue    = sampler.Series("slot.revenue_cum")
-		tsWall       = sampler.Series("slot.wall_seconds")
-		slotStart    time.Time
-		curSlot      = -1
-		slotAccepted int64
-		slotRejected int64
-	)
-	// flushSlot emits one sample per series for a finished slot and
-	// rewinds the per-slot accumulators. Request-free gap slots flush
-	// with zero wall time and zero decision counts.
-	flushSlot := func(slot int, wallSec float64) {
-		s := int64(slot)
-		tsAccepted.Record(s, float64(slotAccepted))
-		tsRejected.Record(s, float64(slotRejected))
-		tsRevenue.Record(s, res.Revenue)
-		tsWall.Record(s, wallSec)
-		slotAccepted, slotRejected = 0, 0
-	}
-	admSpan := rc.Obs.StartPhase("admission")
 	for _, req := range reqs {
-		if req.ArrivalSlot < 0 || req.ArrivalSlot >= horizon {
-			return nil, fmt.Errorf("sim: request %d arrival slot %d outside horizon [0,%d)",
-				req.ID, req.ArrivalSlot, horizon)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run cancelled at request %d: %w", req.ID, err)
 		}
-		if rc.Obs != nil && req.ArrivalSlot != curSlot {
-			now := time.Now()
-			if curSlot >= 0 {
-				wall := now.Sub(slotStart).Seconds()
-				histSlotTime.Observe(wall)
-				flushSlot(curSlot, wall)
-			}
-			for s := curSlot + 1; s < req.ArrivalSlot; s++ {
-				flushSlot(s, 0)
-			}
-			slotStart, curSlot = now, req.ArrivalSlot
-		}
-		d, err := alg.Handle(req)
-		if err != nil {
-			return nil, fmt.Errorf("sim: request %d: %w", req.ID, err)
-		}
-		if rc.Trace != nil {
-			if err := rc.Trace.Emit(trace.Record{
-				Kind:      trace.KindDecision,
-				RequestID: req.ID,
-				Arrival:   req.ArrivalSlot,
-				Start:     req.StartSlot,
-				End:       req.EndSlot,
-				RateMbps:  req.RateMbps,
-				Valuation: req.Valuation,
-				Accepted:  d.Accepted,
-				Price:     d.Price,
-				Reason:    d.Reason,
-				TotalHops: d.Plan.TotalHops(),
-			}); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
-			}
-		}
-		ctrTotal.Inc()
-		res.TotalValuation += req.Valuation
-		arrivedVal[req.ArrivalSlot] += req.Valuation
-		if d.Accepted {
-			ctrAccepted.Inc()
-			slotAccepted++
-			res.Accepted++
-			res.AcceptedValuation += req.Valuation
-			res.Revenue += d.Price
-			acceptedVal[req.ArrivalSlot] += req.Valuation
-			totalHops += d.Plan.TotalHops()
-			totalSlotPaths += len(d.Plan.Paths)
-			if lat, err := router.PlanLatencyMs(prov, req, d.Plan); err == nil {
-				totalLatency += lat
-			}
-		} else {
-			reason := classifyReason(d.Reason)
-			if rc.Obs != nil {
-				rc.Obs.Counter("sim.requests.rejected." + reason).Inc()
-			}
-			slotRejected++
-			res.Rejections[reason]++
+		if _, err := eng.Admit(req); err != nil {
+			return nil, err
 		}
 	}
-	if rc.Obs != nil {
-		if curSlot >= 0 {
-			wall := time.Since(slotStart).Seconds()
-			histSlotTime.Observe(wall)
-			flushSlot(curSlot, wall)
-		}
-		for s := curSlot + 1; s < horizon; s++ {
-			flushSlot(s, 0)
-		}
-	}
-	admSpan.End()
-
-	if res.TotalValuation > 0 {
-		res.WelfareRatio = res.AcceptedValuation / res.TotalValuation
-	}
-	if totalSlotPaths > 0 {
-		res.AvgAcceptedHops = float64(totalHops) / float64(totalSlotPaths)
-	}
-	if res.Accepted > 0 {
-		res.AvgAcceptedLatencyMs = totalLatency / float64(res.Accepted)
-	}
-
-	sweepSpan := rc.Obs.StartPhase("metrics_sweep")
-	res.DepletedPerSlot = make([]int, horizon)
-	res.CongestedPerSlot = make([]int, horizon)
-	res.CumulativeWelfareRatio = make([]float64, horizon)
-	// Sweep-side telemetry: the Fig. 7/8 trajectories under the final
-	// reservation state, one sample per slot, plus end-of-run gauges
-	// (each gauge's last write is the final-slot level).
-	var (
-		tsDepleted  = sampler.Series("slot.depleted_sats")
-		tsCongested = sampler.Series("slot.congested_links")
-		tsDeficit   = sampler.Series("slot.energy_deficit_j")
-		tsWelfare   = sampler.Series("slot.welfare_cum")
-		gDepleted   = rc.Obs.Gauge("netstate.depleted_sats")
-		gCongested  = rc.Obs.Gauge("netstate.congested_links")
-		gDeficit    = rc.Obs.Gauge("energy.total_deficit_j")
-	)
-	cumArrived, cumAccepted := 0.0, 0.0
-	for t := 0; t < horizon; t++ {
-		res.DepletedPerSlot[t] = state.DepletedSatCount(t, rc.DepletionThresholdFrac)
-		res.CongestedPerSlot[t] = state.CongestedLinkCount(t, rc.CongestionThresholdFrac)
-		cumArrived += arrivedVal[t]
-		cumAccepted += acceptedVal[t]
-		if cumArrived > 0 {
-			res.CumulativeWelfareRatio[t] = cumAccepted / cumArrived
-		} else {
-			res.CumulativeWelfareRatio[t] = 1
-		}
-		if rc.Obs != nil {
-			deficit := state.EnergyDeficitJ(t)
-			tsDepleted.Record(int64(t), float64(res.DepletedPerSlot[t]))
-			tsCongested.Record(int64(t), float64(res.CongestedPerSlot[t]))
-			tsDeficit.Record(int64(t), deficit)
-			tsWelfare.Record(int64(t), res.CumulativeWelfareRatio[t])
-			gDepleted.Set(float64(res.DepletedPerSlot[t]))
-			gCongested.Set(float64(res.CongestedPerSlot[t]))
-			gDeficit.Set(deficit)
-		}
-		if rc.Trace != nil {
-			if err := rc.Trace.Emit(trace.Record{
-				Kind:      trace.KindSnapshot,
-				Slot:      t,
-				Depleted:  res.DepletedPerSlot[t],
-				Congested: res.CongestedPerSlot[t],
-			}); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
-			}
-		}
-	}
-	sweepSpan.End()
-	if rc.Trace != nil {
-		if err := rc.Trace.Flush(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-	}
-	return res, nil
+	return eng.Finish()
 }

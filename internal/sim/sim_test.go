@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -129,6 +130,41 @@ func TestParseAlgorithm(t *testing.T) {
 	}
 	if got := len(AlgorithmNames()); got != len(AllAlgorithms()) {
 		t.Errorf("AlgorithmNames has %d entries, want %d", got, len(AllAlgorithms()))
+	}
+}
+
+// TestParseAlgorithmRejections pins every rejection path: near-misses,
+// whitespace, embedded valid names and the empty string must all fail
+// with an error that echoes the offending input and the valid set.
+func TestParseAlgorithmRejections(t *testing.T) {
+	for _, in := range []string{
+		"",           // empty
+		" ",          // blank
+		"CEAR ",      // trailing space (no trimming — flags arrive exact)
+		" CEAR",      // leading space
+		"CEARX",      // valid prefix, junk suffix
+		"CEAR-",      // dangling variant separator
+		"CEAR-NE-AD", // two variants glued together
+		"SSP,ECARS",  // list instead of one name
+		"cear_ne",    // wrong separator
+		"0",          // numeric kind is not an accepted spelling
+		"AlgCEAR",    // Go identifier, not display name
+		"CEAR\n",     // trailing newline
+	} {
+		got, err := ParseAlgorithm(in)
+		if err == nil {
+			t.Errorf("ParseAlgorithm(%q) = %v, want error", in, got)
+			continue
+		}
+		if got != 0 {
+			t.Errorf("ParseAlgorithm(%q) kind = %v, want zero on error", in, got)
+		}
+		if !strings.Contains(err.Error(), strconv.Quote(in)) {
+			t.Errorf("ParseAlgorithm(%q) error %q should echo the input", in, err)
+		}
+		if !strings.Contains(err.Error(), "CEAR, SSP") {
+			t.Errorf("ParseAlgorithm(%q) error %q should list the valid names", in, err)
+		}
 	}
 }
 

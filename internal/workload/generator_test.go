@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// drain pulls every request out of a fresh Generator.
+func drain(t *testing.T, cfg Config) []Request {
+	t.Helper()
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	var out []Request
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, req)
+	}
+}
+
+// TestGeneratorMatchesGenerate pins the streaming path to the batch
+// path: same config, same seed, byte-identical sequence.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	cfg := DefaultConfig(64, testPairs(), 7)
+	profile, err := DiurnalProfile(32, 0.5)
+	if err != nil {
+		t.Fatalf("DiurnalProfile: %v", err)
+	}
+	for name, c := range map[string]Config{
+		"flat":    cfg,
+		"diurnal": func() Config { c := cfg; c.RateProfile = profile; return c }(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			batch, err := Generate(c)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			streamed := drain(t, c)
+			if len(batch) == 0 {
+				t.Fatal("empty workload; test needs arrivals")
+			}
+			if !reflect.DeepEqual(batch, streamed) {
+				t.Fatalf("streamed sequence diverges from Generate (%d vs %d requests)",
+					len(streamed), len(batch))
+			}
+		})
+	}
+}
+
+// TestGeneratorInvalidConfig mirrors Generate's validation.
+func TestGeneratorInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig(64, testPairs(), 7)
+	cfg.Horizon = 0
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Fatal("NewGenerator accepted zero horizon")
+	}
+}
+
+// TestGeneratorDeterministicAcrossGOMAXPROCS guards the streaming
+// refactor against accidental scheduling or parallelism dependence: the
+// sequence must be a pure function of the config, whatever GOMAXPROCS
+// is and whichever goroutine drains the stream.
+func TestGeneratorDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := DefaultConfig(96, testPairs(), 42)
+	reference, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, procs := range []int{1, 2, max(4, orig)} {
+		runtime.GOMAXPROCS(procs)
+		// Drain several independent generators concurrently; each must
+		// reproduce the reference sequence exactly.
+		const workers = 4
+		results := make([][]Request, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				gen, err := NewGenerator(cfg)
+				if err != nil {
+					return // checked via nil result below
+				}
+				var out []Request
+				for {
+					req, ok := gen.Next()
+					if !ok {
+						break
+					}
+					out = append(out, req)
+				}
+				results[w] = out
+			}(w)
+		}
+		wg.Wait()
+		for w, got := range results {
+			if got == nil {
+				t.Fatalf("GOMAXPROCS=%d worker %d: generator construction failed", procs, w)
+			}
+			if !reflect.DeepEqual(got, reference) {
+				t.Fatalf("GOMAXPROCS=%d worker %d: sequence diverges from reference", procs, w)
+			}
+		}
+	}
+}

@@ -190,49 +190,93 @@ func DiurnalProfile(periodSlots int, amplitude float64) ([]float64, error) {
 	return out, nil
 }
 
-// Generate produces the full request sequence ordered by arrival slot
-// (ties broken by generation order, matching the paper's assumption that
-// requests are processed in arrival order).
-func Generate(cfg Config) ([]Request, error) {
+// Generator streams the request sequence of Generate one request at a
+// time: same configuration, same seed, byte-identical requests in the
+// same order, without materialising the whole workload up front. The
+// booking server's load generator uses it to synthesise arrivals on the
+// fly; Generate itself is a Generator drained to a slice, so the two
+// can never diverge.
+//
+// A Generator is single-goroutine: its RNG is stateful and calls to
+// Next must not race. The sequence is a pure function of the Config —
+// it does not depend on wall-clock time, scheduling, or GOMAXPROCS.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	sampler truncExpSampler
+	slot    int // next slot to draw arrivals for
+	pending int // requests still to emit in the current slot
+	id      int
+}
+
+// NewGenerator validates the config and positions the stream before the
+// first request.
+func NewGenerator(cfg Config) (*Generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	sampler := newTruncExpSampler(cfg.MinRateMbps, cfg.MaxRateMbps, cfg.MeanRateMbps)
+	return &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		sampler: newTruncExpSampler(cfg.MinRateMbps, cfg.MaxRateMbps, cfg.MeanRateMbps),
+	}, nil
+}
 
+// Next returns the next request in arrival order. ok is false once the
+// horizon is exhausted.
+func (g *Generator) Next() (req Request, ok bool) {
+	for g.pending == 0 {
+		if g.slot >= g.cfg.Horizon {
+			return Request{}, false
+		}
+		rate := g.cfg.ArrivalRatePerSlot
+		if len(g.cfg.RateProfile) > 0 {
+			rate *= g.cfg.RateProfile[g.slot%len(g.cfg.RateProfile)]
+		}
+		if rate > 0 {
+			g.pending = poisson(g.rng, rate)
+		}
+		g.slot++
+	}
+	g.pending--
+	slot := g.slot - 1 // arrivals belong to the slot just drawn
+	pair := g.cfg.Pairs[g.rng.Intn(len(g.cfg.Pairs))]
+	dur := g.cfg.MinDurationSlots + g.rng.Intn(g.cfg.MaxDurationSlots-g.cfg.MinDurationSlots+1)
+	end := slot + dur - 1
+	if end >= g.cfg.Horizon {
+		end = g.cfg.Horizon - 1
+	}
+	req = Request{
+		ID:          g.id,
+		Src:         pair.Src,
+		Dst:         pair.Dst,
+		ArrivalSlot: slot,
+		StartSlot:   slot,
+		EndSlot:     end,
+		RateMbps:    g.sampler.sample(g.rng),
+		Valuation:   g.cfg.Valuation,
+	}
+	g.id++
+	return req, true
+}
+
+// Generate produces the full request sequence ordered by arrival slot
+// (ties broken by generation order, matching the paper's assumption that
+// requests are processed in arrival order). It is a drained Generator.
+func Generate(cfg Config) ([]Request, error) {
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
 	expected := int(cfg.ArrivalRatePerSlot*float64(cfg.Horizon)) + 1
 	requests := make([]Request, 0, expected)
-	id := 0
-	for slot := 0; slot < cfg.Horizon; slot++ {
-		rate := cfg.ArrivalRatePerSlot
-		if len(cfg.RateProfile) > 0 {
-			rate *= cfg.RateProfile[slot%len(cfg.RateProfile)]
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			return requests, nil
 		}
-		if rate <= 0 {
-			continue
-		}
-		n := poisson(rng, rate)
-		for k := 0; k < n; k++ {
-			pair := cfg.Pairs[rng.Intn(len(cfg.Pairs))]
-			dur := cfg.MinDurationSlots + rng.Intn(cfg.MaxDurationSlots-cfg.MinDurationSlots+1)
-			end := slot + dur - 1
-			if end >= cfg.Horizon {
-				end = cfg.Horizon - 1
-			}
-			requests = append(requests, Request{
-				ID:          id,
-				Src:         pair.Src,
-				Dst:         pair.Dst,
-				ArrivalSlot: slot,
-				StartSlot:   slot,
-				EndSlot:     end,
-				RateMbps:    sampler.sample(rng),
-				Valuation:   cfg.Valuation,
-			})
-			id++
-		}
+		requests = append(requests, req)
 	}
-	return requests, nil
 }
 
 // poisson samples a Poisson variate via Knuth's method; adequate for the

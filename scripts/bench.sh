@@ -1,22 +1,28 @@
 #!/usr/bin/env bash
-# bench.sh — run the routing fast-path benchmark suite and emit a
-# machine-readable BENCH_4.json (schema documented in EXPERIMENTS.md).
+# bench.sh — run the routing fast-path benchmark suite plus a short
+# serving-layer load measurement, and emit a machine-readable
+# BENCH_5.json (schema documented in EXPERIMENTS.md).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCHTIME   go test -benchtime value (default 10x)
+#   BENCHTIME       go test -benchtime value (default 10x)
+#   SERVE_DURATION  length of the spaced/spaceload closed-loop
+#                   measurement (default 5s; 0 skips the serving row)
 #
-# The JSON is an array of {name, ns_per_op, bytes_per_op, allocs_per_op}
-# objects, one per benchmark, in run order. Only benchmarks that report
-# allocations (b.ReportAllocs or -benchmem) produce complete rows; the
-# script passes -benchmem so every row is complete.
+# The JSON is an array of objects, one per measurement, in run order.
+# Micro-benchmark rows are {name, ns_per_op, bytes_per_op,
+# allocs_per_op}; the serving row is {name: "SpaceloadClosedLoop",
+# req_per_sec, p50_ms, p99_ms}. Only benchmarks that report allocations
+# produce complete rows; the script passes -benchmem so every row is
+# complete.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_5.json}"
 BENCHTIME="${BENCHTIME:-10x}"
+SERVE_DURATION="${SERVE_DURATION:-5s}"
 
 # Root-package micro-benchmarks: the production CEAR request path (flat
 # scratch-pooled search, its generic reference twin, and the
@@ -26,21 +32,65 @@ ROOT_PATTERN='^(BenchmarkCEARHandle|BenchmarkCEARHandleGeneric|BenchmarkCEARHand
 GRAPH_PATTERN='^(BenchmarkShortestPath|BenchmarkShortestPathScratch|BenchmarkHopLimited|BenchmarkHopLimitedScratch)$'
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+ROWS="$(mktemp)"
+WORK="$(mktemp -d)"
+SPACED_PID=""
+cleanup() {
+  if [[ -n "$SPACED_PID" ]]; then kill "$SPACED_PID" 2>/dev/null || true; fi
+  rm -rf "$RAW" "$ROWS" "$WORK"
+}
+trap cleanup EXIT
 
 go test -run '^$' -bench "$ROOT_PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
 go test -run '^$' -bench "$GRAPH_PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/graph/ | tee -a "$RAW"
 
 awk '
-  BEGIN { print "["; sep = "" }
   /^Benchmark/ && NF >= 8 {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-      sep, name, $3, $5, $7
-    sep = ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}\n", \
+      name, $3, $5, $7
   }
-  END { print "\n]" }
-' "$RAW" > "$OUT"
+' "$RAW" > "$ROWS"
+
+# Serving-layer measurement: a small-scale spaced daemon at max clock
+# speed, hammered closed-loop by spaceload; the SUMMARY line carries
+# sustained throughput and client-observed admission latency.
+if [[ "$SERVE_DURATION" != "0" ]]; then
+  echo "== serving layer: spaced + spaceload closed loop ($SERVE_DURATION) =="
+  go build -o "$WORK/spaced" ./cmd/spaced
+  go build -o "$WORK/spaceload" ./cmd/spaceload
+  "$WORK/spaced" -addr 127.0.0.1:0 -clock-rate 0 >"$WORK/spaced.log" 2>&1 &
+  SPACED_PID=$!
+  ADDR=""
+  for _ in $(seq 1 120); do
+    ADDR="$(sed -n 's|^spaced listening on http://\(.*\)/$|\1|p' "$WORK/spaced.log")"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SPACED_PID" 2>/dev/null || { cat "$WORK/spaced.log" >&2; echo "bench.sh: spaced exited before listening" >&2; exit 1; }
+    sleep 1
+  done
+  [[ -n "$ADDR" ]] || { cat "$WORK/spaced.log" >&2; echo "bench.sh: spaced never started listening" >&2; exit 1; }
+
+  SUMMARY="$("$WORK/spaceload" -addr "http://$ADDR" -mode closed -concurrency 4 -duration "$SERVE_DURATION" \
+    | tee /dev/stderr | sed -n 's/^SUMMARY //p')"
+  kill -TERM "$SPACED_PID"
+  wait "$SPACED_PID" # non-zero = drain failed, and so does the script
+  SPACED_PID=""
+  [[ -n "$SUMMARY" ]] || { echo "bench.sh: spaceload printed no SUMMARY line" >&2; exit 1; }
+
+  awk -v line="$SUMMARY" '
+    BEGIN {
+      n = split(line, kv, " ")
+      for (i = 1; i <= n; i++) { split(kv[i], p, "="); v[p[1]] = p[2] }
+      printf "  {\"name\": \"SpaceloadClosedLoop\", \"req_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s}\n", \
+        v["req_per_sec"], v["p50_ms"], v["p99_ms"]
+    }' >> "$ROWS"
+fi
+
+{
+  echo "["
+  sed '$!s/$/,/' "$ROWS"
+  echo "]"
+} > "$OUT"
 
 echo "wrote $OUT"

@@ -15,6 +15,7 @@
 package spacebooking
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -350,10 +351,17 @@ func (e *Environment) RunConfig(alg sim.AlgorithmKind, wl workload.Config) (sim.
 // Run executes a single simulation run. When the environment carries an
 // observability registry and the config does not, the run inherits it.
 func (e *Environment) Run(rc sim.RunConfig) (*sim.Result, error) {
+	return e.RunContext(context.Background(), rc)
+}
+
+// RunContext is Run with cooperative cancellation: the admission loop
+// stops between requests as soon as ctx is cancelled (see
+// sim.RunContext).
+func (e *Environment) RunContext(ctx context.Context, rc sim.RunConfig) (*sim.Result, error) {
 	if rc.Obs == nil {
 		rc.Obs = e.Obs
 	}
-	res, err := sim.Run(e.Provider, rc)
+	res, err := sim.RunContext(ctx, e.Provider, rc)
 	if err == nil && rc.Obs != nil {
 		e.setLastObs(rc.Obs)
 	}
