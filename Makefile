@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-race build test vet fmt-check race bench bench-smoke obsdiff-smoke smoke-spaced
+.PHONY: check check-race build test vet fmt-check race bench bench-smoke obsdiff-smoke smoke-spaced trace-smoke
 
 check: fmt-check vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -35,8 +35,8 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Full fast-path benchmark suite plus the serving-layer closed-loop
-# measurement; writes BENCH_5.json (see EXPERIMENTS.md for the schema
-# and scripts/bench.sh for knobs).
+# measurements (untraced and traced); writes BENCH_6.json (see
+# EXPERIMENTS.md for the schema and scripts/bench.sh for knobs).
 bench:
 	./scripts/bench.sh
 
@@ -44,6 +44,13 @@ bench:
 # against a live daemon, assert accepts and a clean SIGTERM drain.
 smoke-spaced:
 	./scripts/smoke_spaced.sh
+
+# End-to-end tracing smoke: boot spaced with -trace-sample 1 and an
+# audit log, fire spaceload, assert /debug/traces.json answers with
+# records, the drained audit log is valid JSONL (auditstat), and the
+# report's server.trace.* counters are live (obsdiff gates).
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Produce a tiny-run report and diff it against itself: exercises the
 # report pipeline end to end and must exit 0 (the CI smoke for the

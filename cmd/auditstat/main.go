@@ -1,0 +1,148 @@
+// Command auditstat validates and summarises a spaced admission audit
+// log (the JSONL stream written by spaced -audit-log).
+//
+// It checks that every line parses as one audit record — a truncated or
+// interleaved line fails the run, which is what makes it useful as the
+// CI gate behind `make trace-smoke` — then prints per-outcome counts,
+// sampling coverage, and a per-phase duration table aggregated over the
+// sampled records.
+//
+// Usage:
+//
+//	auditstat audit.jsonl
+//	auditstat -min 1 audit.jsonl   # fail unless at least 1 record
+//	cat audit.jsonl | auditstat -
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"spacebooking/internal/buildinfo"
+	"spacebooking/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	minRecords := flag.Int("min", 1, "fail unless the log holds at least this many records")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("auditstat"))
+		return 0
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: auditstat [-min N] <audit.jsonl | ->")
+		return 2
+	}
+
+	var in io.Reader = os.Stdin
+	name := flag.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "auditstat: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	} else {
+		name = "stdin"
+	}
+
+	outcomes := map[string]int{}
+	phases := map[string]*phaseAgg{}
+	var order []string
+	records, sampled, lineNo := 0, 0, 0
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec server.AuditRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "auditstat: %s:%d: invalid record: %v\n", name, lineNo, err)
+			return 1
+		}
+		if rec.Outcome == "" {
+			fmt.Fprintf(os.Stderr, "auditstat: %s:%d: record without outcome\n", name, lineNo)
+			return 1
+		}
+		records++
+		outcomes[rec.Outcome]++
+		if !rec.Sampled {
+			continue
+		}
+		sampled++
+		for _, sp := range rec.Phases {
+			agg := phases[sp.Name]
+			if agg == nil {
+				agg = &phaseAgg{}
+				phases[sp.Name] = agg
+				order = append(order, sp.Name)
+			}
+			agg.add(sp.DurNs())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "auditstat: reading %s: %v\n", name, err)
+		return 1
+	}
+	if records < *minRecords {
+		fmt.Fprintf(os.Stderr, "auditstat: %s: %d records, need at least %d\n", name, records, *minRecords)
+		return 1
+	}
+
+	fmt.Printf("%s: %d records, %d sampled\n", name, records, sampled)
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-12s %d\n", k, outcomes[k])
+	}
+	if len(order) > 0 {
+		sort.Slice(order, func(i, j int) bool { return phases[order[i]].totalNs > phases[order[j]].totalNs })
+		fmt.Printf("phases (over sampled records):\n")
+		fmt.Printf("  %-16s %10s %10s %8s\n", "phase", "mean_ms", "max_ms", "spans")
+		for _, nameKey := range order {
+			a := phases[nameKey]
+			fmt.Printf("  %-16s %10.3f %10.3f %8d\n", nameKey, a.meanMs(), float64(a.maxNs)/1e6, a.count)
+		}
+	}
+	return 0
+}
+
+type phaseAgg struct {
+	totalNs int64
+	maxNs   int64
+	count   int64
+}
+
+func (a *phaseAgg) add(ns int64) {
+	a.totalNs += ns
+	a.count++
+	if ns > a.maxNs {
+		a.maxNs = ns
+	}
+}
+
+func (a *phaseAgg) meanMs() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return float64(a.totalNs) / float64(a.count) / 1e6
+}

@@ -20,7 +20,7 @@
 // metrics whose key contains "seconds". An empty -max-regress disables
 // the default gates. -gate adds explicit lower-is-better gates; KEY
 // addresses one value as metrics.K, counters.K,
-// histograms.NAME.{count,sum,min,max,mean,p50,p95,p99},
+// histograms.NAME.{count,sum,min,max,mean,p50,p95,p99,p999},
 // phases.NAME.{total_seconds,count} or timeseries.NAME.{last,total}
 // (a bare KEY means metrics.KEY).
 //
@@ -183,6 +183,8 @@ func lookup(rep *obs.Report, key string) (float64, bool) {
 			return h.P95, true
 		case "p99":
 			return h.P99, true
+		case "p999":
+			return h.P999, true
 		}
 		return 0, false
 	case "phases":
@@ -340,6 +342,7 @@ func printDiff(w io.Writer, oldRep, newRep *obs.Report) {
 			out[name+".p50"] = h.P50
 			out[name+".p95"] = h.P95
 			out[name+".p99"] = h.P99
+			out[name+".p999"] = h.P999
 		}
 		return out
 	}

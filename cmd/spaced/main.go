@@ -16,7 +16,16 @@
 //	       [-alg CEAR|SSP|ECARS|ERU|ERA|CEAR-NE|CEAR-AA|CEAR-LIN|CEAR-AD]
 //	       [-clock-rate R] [-queue-depth N] [-batch-size B]
 //	       [-valuation V] [-f1 F] [-f2 F]
+//	       [-trace] [-trace-sample P] [-slow-ms D] [-audit-log FILE]
 //	       [-drain-timeout D] [-report run.json]
+//
+// Tracing is off by default and free when off. Any of -trace,
+// -trace-sample > 0 or -audit-log enables it: every admission decision
+// then produces an audit record (queryable at /v1/requests/{id}/trace
+// and /debug/traces.json, streamed to -audit-log as JSONL), and sampled
+// records — head-sampled at -trace-sample, plus every shed, rejected,
+// errored or slower-than -slow-ms request — carry the full per-phase
+// timeline.
 package main
 
 import (
@@ -54,6 +63,10 @@ func run() int {
 	f2 := flag.Float64("f2", 1, "energy conservativeness parameter F2")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain queued bookings on shutdown")
 	reportFile := flag.String("report", "", "write a machine-readable JSON run report after the drain")
+	traceOn := flag.Bool("trace", false, "enable request tracing even with no sampling and no audit log")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability [0,1] for full phase timelines (also enables tracing)")
+	slowMs := flag.Float64("slow-ms", 25, "latency SLO objective; slower traced requests are always sampled")
+	auditLog := flag.String("audit-log", "", "stream one JSON audit record per admission decision to this file (also enables tracing)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -102,12 +115,24 @@ func run() int {
 		return 1
 	}
 
+	if *traceSample < 0 || *traceSample > 1 {
+		fmt.Fprintf(os.Stderr, "spaced: -trace-sample %g outside [0,1]\n", *traceSample)
+		return 1
+	}
+	slowThreshold := time.Duration(*slowMs * float64(time.Millisecond))
 	srv, err := server.New(server.Config{
 		Provider:   env.Provider,
 		Run:        rc,
 		ClockRate:  *clockRate,
 		QueueDepth: *queueDepth,
 		BatchSize:  *batchSize,
+		Trace: server.TraceConfig{
+			Enabled:       *traceOn,
+			SampleRate:    *traceSample,
+			SlowThreshold: slowThreshold,
+			AuditPath:     *auditLog,
+		},
+		SLO: server.SLOConfig{LatencyObjective: slowThreshold},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -136,6 +161,13 @@ func run() int {
 	fmt.Printf("  scale       %s (%d satellites, horizon %d slots)\n", scale, env.Provider.NumSats(), srv.Horizon())
 	fmt.Printf("  slot clock  %s\n", clockDesc)
 	fmt.Printf("  ingress     queue %d, batch %d\n", *queueDepth, *batchSize)
+	if *traceOn || *traceSample > 0 || *auditLog != "" {
+		auditDesc := "in-memory only"
+		if *auditLog != "" {
+			auditDesc = *auditLog
+		}
+		fmt.Printf("  tracing     sample %.3g, slow %.3gms, audit %s\n", *traceSample, *slowMs, auditDesc)
+	}
 	fmt.Printf("send SIGINT or SIGTERM to drain and stop\n")
 
 	select {
@@ -177,12 +209,22 @@ func run() int {
 		rep.SetConfig("batch_size", *batchSize)
 		rep.SetConfig("valuation", *valuation)
 		rep.SetConfig("horizon_slots", srv.Horizon())
+		rep.SetConfig("trace_sample", *traceSample)
+		rep.SetConfig("slow_ms", *slowMs)
+		rep.SetConfig("audit_log", *auditLog)
 		rep.SetMetric("requests_total", float64(st.Total))
 		rep.SetMetric("requests_accepted", float64(st.Accepted))
 		rep.SetMetric("requests_rejected", float64(st.Rejected))
 		rep.SetMetric("requests_shed", float64(st.Shed))
+		rep.SetMetric("queue_high_water", float64(st.QueueHighWater))
 		rep.SetMetric("revenue", res.Revenue)
 		rep.SetMetric("welfare_ratio", res.WelfareRatio)
+		if st.Trace != nil {
+			rep.SetMetric("trace_records", float64(st.Trace.Records))
+			rep.SetMetric("trace_sampled", float64(st.Trace.Sampled))
+			rep.SetMetric("trace_dropped", float64(st.Trace.Dropped))
+		}
+		rep.SetSLO(srv.SLOSnapshots())
 		rep.Finish(reg)
 		if err := obs.WriteReportFile(*reportFile, rep); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -36,6 +36,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -103,10 +105,11 @@ func run() int {
 		*addr, cfg.Algorithm, cfg.Horizon, len(cfg.Pairs), len(mix))
 
 	lg := &loadGen{
-		client: client,
-		url:    *addr + "/v1/book",
-		mix:    mix,
-		reg:    obs.New(),
+		client:   client,
+		url:      *addr + "/v1/book",
+		mix:      mix,
+		idPrefix: fmt.Sprintf("spaceload-%d", os.Getpid()),
+		reg:      obs.New(),
 	}
 	lg.hist = lg.reg.Histogram("client.latency", nil)
 
@@ -129,6 +132,20 @@ func run() int {
 	fmt.Printf("  errors    %d\n", lg.errors.Load())
 	fmt.Printf("latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
 		1e3*snap.P50, 1e3*snap.P95, 1e3*snap.P99, 1e3*snap.Max)
+
+	// Server-side view: join this run's audit records (matched by our
+	// request-id prefix) into a per-phase breakdown. Silently absent
+	// when the server runs without tracing.
+	breakdown := fetchPhaseBreakdown(client, *addr, lg.idPrefix)
+	if breakdown != nil {
+		fmt.Printf("\nserver-side phases (%d audit records, %d with timelines):\n",
+			breakdown.records, breakdown.sampled)
+		for _, ph := range breakdown.phases {
+			fmt.Printf("  %-16s mean %8.3f ms  max %8.3f ms  (%d spans)\n",
+				ph.name, 1e3*ph.meanSec(), 1e3*ph.maxSec, ph.count)
+		}
+	}
+
 	fmt.Printf("SUMMARY req_per_sec=%.2f p50_ms=%.3f p99_ms=%.3f accepted=%d rejected=%d shed=%d draining=%d errors=%d\n",
 		reqPerSec, 1e3*snap.P50, 1e3*snap.P99,
 		lg.accepted.Load(), lg.rejected.Load(), lg.shed.Load(), lg.draining.Load(), lg.errors.Load())
@@ -151,6 +168,13 @@ func run() int {
 		rep.SetMetric("shed", float64(lg.shed.Load()))
 		rep.SetMetric("draining", float64(lg.draining.Load()))
 		rep.SetMetric("errors", float64(lg.errors.Load()))
+		if breakdown != nil {
+			rep.SetMetric("server_audit_records", float64(breakdown.records))
+			rep.SetMetric("server_audit_sampled", float64(breakdown.sampled))
+			for _, ph := range breakdown.phases {
+				rep.SetMetric("server_phase_"+ph.name+"_mean_ms", 1e3*ph.meanSec())
+			}
+		}
 		rep.Finish(lg.reg)
 		if err := obs.WriteReportFile(*reportFile, rep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -162,6 +186,81 @@ func run() int {
 		return 1 // nothing but errors: the target is down
 	}
 	return 0
+}
+
+// phaseAgg accumulates one phase's spans across audit records.
+type phaseAgg struct {
+	name    string
+	totalNs int64
+	maxSec  float64
+	count   int64
+}
+
+func (p *phaseAgg) meanSec() float64 {
+	if p.count == 0 {
+		return 0
+	}
+	return float64(p.totalNs) / float64(p.count) / 1e9
+}
+
+// traceBreakdown is the server-side view of this run.
+type traceBreakdown struct {
+	records int64
+	sampled int64
+	phases  []*phaseAgg
+}
+
+// fetchPhaseBreakdown pulls the server's recent audit records and
+// aggregates the ones this run produced (client ids carrying prefix)
+// into per-phase means. Returns nil when the server has tracing off, is
+// unreachable, or retained none of our records.
+func fetchPhaseBreakdown(client *http.Client, addr, prefix string) *traceBreakdown {
+	resp, err := client.Get(addr + "/debug/traces.json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var payload struct {
+		Records []server.AuditRecord `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil
+	}
+	bd := &traceBreakdown{}
+	byName := map[string]*phaseAgg{}
+	for _, rec := range payload.Records {
+		if !strings.HasPrefix(rec.ClientID, prefix) {
+			continue
+		}
+		bd.records++
+		if !rec.Sampled {
+			continue
+		}
+		bd.sampled++
+		for _, sp := range rec.Phases {
+			dur := sp.DurNs()
+			agg := byName[sp.Name]
+			if agg == nil {
+				agg = &phaseAgg{name: sp.Name}
+				byName[sp.Name] = agg
+				bd.phases = append(bd.phases, agg)
+			}
+			agg.totalNs += dur
+			agg.count++
+			if sec := float64(dur) / 1e9; sec > agg.maxSec {
+				agg.maxSec = sec
+			}
+		}
+	}
+	if bd.records == 0 {
+		return nil
+	}
+	sort.Slice(bd.phases, func(i, j int) bool { return bd.phases[i].totalNs > bd.phases[j].totalNs })
+	return bd
 }
 
 // fetchConfig asks the daemon what is bookable.
@@ -227,6 +326,9 @@ type loadGen struct {
 	url    string
 	mix    []server.BookRequest
 	next   atomic.Int64 // round-robin cursor into mix
+	// idPrefix prefixes the client-assigned request id of every request
+	// ("<prefix>-<seq>"), joining server-side audit records to this run.
+	idPrefix string
 
 	reg  *obs.Registry
 	hist *obs.Histogram
@@ -295,7 +397,9 @@ func (lg *loadGen) runOpen(ctx context.Context, rate float64, inflight, limit in
 
 // sendOne posts the next request of the mix and classifies the outcome.
 func (lg *loadGen) sendOne(ctx context.Context) {
-	br := lg.mix[int(lg.next.Add(1)-1)%len(lg.mix)]
+	seq := lg.next.Add(1) - 1
+	br := lg.mix[int(seq)%len(lg.mix)]
+	br.RequestID = fmt.Sprintf("%s-%d", lg.idPrefix, seq)
 	body, err := json.Marshal(br)
 	if err != nil {
 		lg.errors.Add(1)

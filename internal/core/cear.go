@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"spacebooking/internal/graph"
 	"spacebooking/internal/netstate"
@@ -102,6 +103,11 @@ type CEAR struct {
 	ctrRejected    *obs.Counter
 	ctrSlotSearch  *obs.Counter
 	histPlanPrice  *obs.Histogram
+	// instr is the state's shared graph-instrument handle, cached so
+	// the pricing walk can check PricingNanos without a method call per
+	// cache miss. EnableTraceDetail mutates the pointed-to struct, so a
+	// handle cached before enablement still sees the counters.
+	instr *graph.Instruments
 }
 
 var _ router.Algorithm = (*CEAR)(nil)
@@ -144,6 +150,7 @@ func New(state *netstate.State, opts Options) (*CEAR, error) {
 		c.fast.Instrument(reg.Counter("pricing.lut_lookups"))
 		state.SetObs(reg)
 	}
+	c.instr = state.GraphInstruments()
 	return c, nil
 }
 
@@ -201,6 +208,13 @@ func (c *CEAR) energyTransitCost(sat, slot int, joules float64) float64 {
 	if joules <= 0 {
 		return 0
 	}
+	// Pricing wall time for the serving layer's phase breakdown; the
+	// counter is nil (one branch, no clock reads) unless trace detail
+	// is enabled. Timed here — on the transit-cache miss path — so hits
+	// cost nothing.
+	if in := c.instr; in != nil && in.PricingNanos != nil {
+		defer pricingTimer(in.PricingNanos, time.Now())
+	}
 	b := c.state.Battery(sat)
 	capJ := b.CapacityJ()
 	cost := 0.0
@@ -219,6 +233,12 @@ func (c *CEAR) energyTransitCost(sat, slot int, joules float64) float64 {
 		return math.Inf(1)
 	}
 	return cost
+}
+
+// pricingTimer accumulates elapsed pricing-walk wall time; the deferred
+// form captures the start at the defer statement.
+func pricingTimer(c *obs.Counter, t0 time.Time) {
+	c.Add(time.Since(t0).Nanoseconds())
 }
 
 // hopEpsilon breaks price ties toward shorter paths: on an idle

@@ -109,6 +109,7 @@ func ShortestPathWith(g Adjacency, src, dst int, transit TransitCostFunc, sc *Sc
 		sc = NewScratch()
 	}
 	in := instrumentsOf(g)
+	defer in.searchTimerEnd(in.searchTimerStart())
 	var pops int64
 
 	// State encoding: node*numClasses + int(inClass).
@@ -227,6 +228,7 @@ func ShortestPathHopLimitedWith(g Adjacency, src, dst, maxHops int, transit Tran
 		sc = NewScratch()
 	}
 	in := instrumentsOf(g)
+	defer in.searchTimerEnd(in.searchTimerStart())
 
 	numStates := n * numClasses
 	const inf = math.MaxFloat64

@@ -1,6 +1,10 @@
 package graph
 
-import "spacebooking/internal/obs"
+import (
+	"time"
+
+	"spacebooking/internal/obs"
+)
 
 // Instruments holds the package's observability counters. There is no
 // package-global attachment point: each run threads its own handle, so
@@ -23,6 +27,19 @@ type Instruments struct {
 	// states whose accumulated plan price already exceeded the request's
 	// valuation, so admission would reject any completion through them.
 	PrunedLabels *obs.Counter
+	// SearchNanos accumulates wall nanoseconds spent inside path
+	// searches. Nil unless trace detail is enabled (netstate
+	// EnableTraceDetail): the serving layer's per-request phase
+	// breakdown needs it, batch runs and benchmarks never pay the two
+	// clock reads per search. Search time includes the transit-cost
+	// callbacks, so it overlaps PricingNanos; consumers subtract.
+	SearchNanos *obs.Counter
+	// PricingNanos accumulates wall nanoseconds spent in the
+	// deficit-pricing walks invoked from inside searches. It lives here
+	// (not on energy.Instruments) because this struct is the per-State
+	// handle the pricing loop already carries; nil unless trace detail
+	// is enabled.
+	PricingNanos *obs.Counter
 }
 
 // Instrumented is the optional interface an Adjacency implements to
@@ -67,4 +84,23 @@ func (in *Instruments) spurDone(spurs int64) {
 		return
 	}
 	in.YenSpurIterations.Add(spurs)
+}
+
+// searchTimerStart returns the wall clock when search timing is
+// attached, or the zero time — no clock read, no accumulation — when it
+// is not. Pair with a deferred searchTimerEnd.
+func (in *Instruments) searchTimerStart() time.Time {
+	if in == nil || in.SearchNanos == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// searchTimerEnd accumulates the elapsed search time for a non-zero
+// start.
+func (in *Instruments) searchTimerEnd(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	in.SearchNanos.Add(time.Since(t0).Nanoseconds())
 }

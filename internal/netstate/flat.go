@@ -3,6 +3,7 @@ package netstate
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"spacebooking/internal/graph"
 	"spacebooking/internal/topology"
@@ -418,11 +419,25 @@ func (v *FlatView) VisitNeighbors(node int, fn func(graph.Edge) bool) {
 // relaxation order is fixed by the loops, and an over-budget label can
 // never beat an under-budget one (that would require it to be strictly
 // cheaper, contradicting monotonicity).
-func (v *FlatView) Search(transit graph.TransitCostFunc, maxHops int, budgetBase, budgetLimit float64) (graph.Path, bool, bool) {
-	if maxHops > 0 {
-		return v.hopLimited(transit, maxHops, budgetBase, budgetLimit)
+func (v *FlatView) Search(transit graph.TransitCostFunc, maxHops int, budgetBase, budgetLimit float64) (path graph.Path, ok, pruned bool) {
+	// Search wall time feeds the serving layer's per-request phase
+	// breakdown; the counter is nil (one branch, no clock reads) unless
+	// trace detail is enabled on the state.
+	var t0 time.Time
+	in := v.state.GraphInstruments()
+	timed := in != nil && in.SearchNanos != nil
+	if timed {
+		t0 = time.Now()
 	}
-	return v.dijkstra(transit, budgetBase, budgetLimit)
+	if maxHops > 0 {
+		path, ok, pruned = v.hopLimited(transit, maxHops, budgetBase, budgetLimit)
+	} else {
+		path, ok, pruned = v.dijkstra(transit, budgetBase, budgetLimit)
+	}
+	if timed {
+		in.SearchNanos.Add(time.Since(t0).Nanoseconds())
+	}
+	return path, ok, pruned
 }
 
 // dijkstra is the flat twin of graph.ShortestPathWith over this view.

@@ -136,6 +136,10 @@ type stateInstruments struct {
 	linkReserves  *obs.Counter
 	trialConsumes *obs.Counter
 	scratchReuses *obs.Counter
+	// commitNanos accumulates wall time in the transaction commit path
+	// (ReservePath + Consume). Nil — no clock reads — unless
+	// EnableTraceDetail attaches it.
+	commitNanos *obs.Counter
 	// graph is handed to every search run over this state's Views;
 	// energy is attached to every battery. Both are per-State handles —
 	// this is what lets concurrent runs on a shared provider count into
@@ -180,6 +184,27 @@ func (s *State) SetObs(reg *obs.Registry) {
 // GraphInstruments returns the search counters of this state (nil when
 // no registry is attached). Views forward it to the searches.
 func (s *State) GraphInstruments() *graph.Instruments { return s.instr.graph }
+
+// EnableTraceDetail attaches the sub-phase wall-time counters — search,
+// deficit-pricing and commit nanoseconds — that the serving layer's
+// per-request phase breakdown reads as deltas around each admission.
+// They are separate from SetObs because every timed site pays two clock
+// reads per call: batch simulations and benchmarks never enable them.
+// Requires SetObs to have attached the same registry first (the handles
+// are fields of the instrument structs SetObs built, shared by pointer
+// with live views and batteries); a nil registry or un-observed state
+// is a no-op. Call before the run starts — the State is single-owner.
+func (s *State) EnableTraceDetail(reg *obs.Registry) {
+	if reg == nil || s.instr.graph == nil {
+		return
+	}
+	// Names deliberately avoid "seconds": obsdiff's default wall-time
+	// gates would otherwise treat these monotonic nano totals as
+	// regression-gated quantities.
+	s.instr.graph.SearchNanos = reg.Counter("graph.search.nanos")
+	s.instr.graph.PricingNanos = reg.Counter("energy.pricing.nanos")
+	s.instr.commitNanos = reg.Counter("netstate.commit.nanos")
+}
 
 // New builds the resource state: empty link ledgers and one battery per
 // broadband satellite, with solar input derived from the satellite's

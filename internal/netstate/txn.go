@@ -2,9 +2,11 @@ package netstate
 
 import (
 	"fmt"
+	"time"
 
 	"spacebooking/internal/energy"
 	"spacebooking/internal/graph"
+	"spacebooking/internal/obs"
 )
 
 // SlotView is the part of a per-slot routing view the transaction layer
@@ -82,6 +84,9 @@ func (t *Txn) ReservePath(v SlotView, p graph.Path) error {
 	if t.done {
 		return fmt.Errorf("netstate: transaction already finished")
 	}
+	if c := t.state.instr.commitNanos; c != nil {
+		defer commitTimer(c, time.Now())
+	}
 	a := &t.state.txn
 	for i := 0; i < len(p.Nodes)-1; i++ {
 		key := v.LinkKeyFor(p.Nodes[i], p.Nodes[i+1])
@@ -100,6 +105,9 @@ func (t *Txn) ReservePath(v SlotView, p graph.Path) error {
 func (t *Txn) Consume(consumptions []Consumption) error {
 	if t.done {
 		return fmt.Errorf("netstate: transaction already finished")
+	}
+	if c := t.state.instr.commitNanos; c != nil {
+		defer commitTimer(c, time.Now())
 	}
 	a := &t.state.txn
 	for _, c := range consumptions {
@@ -143,6 +151,13 @@ func (t *Txn) Commit() {
 		t.state.instr.txnCommits.Inc()
 	}
 	t.done = true
+}
+
+// commitTimer accumulates elapsed commit-path wall time; the deferred
+// form `defer commitTimer(c, time.Now())` captures the start at the
+// defer statement and charges the counter at return.
+func commitTimer(c *obs.Counter, t0 time.Time) {
+	c.Add(time.Since(t0).Nanoseconds())
 }
 
 // unreserveLink subtracts a prior reservation.

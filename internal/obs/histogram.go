@@ -112,6 +112,7 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // Snapshot captures the histogram with estimated p50/p95/p99. The
@@ -144,8 +145,42 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = h.quantile(counts, total, 0.50, s.Min, s.Max)
 	s.P95 = h.quantile(counts, total, 0.95, s.Min, s.Max)
 	s.P99 = h.quantile(counts, total, 0.99, s.Min, s.Max)
+	s.P999 = h.quantile(counts, total, 0.999, s.Min, s.Max)
 	return s
 }
+
+// Quantile estimates one quantile of the live histogram. It is guarded
+// against the degenerate cases: a nil or empty (zero-count) histogram
+// returns 0 rather than NaN or a garbage bound, and q is clamped into
+// [0, 1]. The SLO tracker and stats endpoints call this directly for
+// tail quantiles (e.g. 0.999) without paying for a full snapshot.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	min := math.Float64frombits(h.minBits.Load())
+	max := math.Float64frombits(h.maxBits.Load())
+	return h.quantile(counts, total, q, min, max)
+}
+
+// P999 is the guarded 99.9th-percentile accessor used by the SLO
+// tracker.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
 
 // quantile estimates the q-quantile from bucket counts. rank counts
 // from 1; the value interpolates within the bucket's [lower, upper)

@@ -45,7 +45,7 @@ func writeProm(w io.Writer, snap RegistrySnapshot) error {
 		for _, q := range [...]struct {
 			label string
 			v     float64
-		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}, {"0.999", h.P999}} {
 			fmt.Fprintf(&b, "%s{quantile=%q} %s\n", pn, q.label, promFloat(q.v))
 		}
 		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))

@@ -9,8 +9,9 @@ import (
 
 // ReportVersion is bumped whenever the report schema changes
 // incompatibly, so downstream diff tooling (cmd/obsdiff) can refuse
-// mixed versions. Version 2 added the top-level timeseries section.
-const ReportVersion = 2
+// mixed versions. Version 2 added the top-level timeseries section;
+// version 3 added the slo section and the p999 histogram quantile.
+const ReportVersion = 3
 
 // Report is the machine-readable end-of-run artifact written by
 // `cearsim -report run.json` (and spacebench): the run's configuration
@@ -31,6 +32,10 @@ type Report struct {
 	// counts, cumulative revenue, depletion/congestion levels, slot wall
 	// time) — enough to redraw a Fig. 7-style trajectory without a trace.
 	TimeSeries map[string]SeriesSnapshot `json:"timeseries,omitempty"`
+	// SLO holds the per-class service-level snapshots (latency
+	// objective attainment and error-budget burn) for tools that track
+	// them, like the spaced serving daemon. Schema v3.
+	SLO []SLOSnapshot `json:"slo,omitempty"`
 	// Observability is the registry snapshot at the end of the run
 	// (time series excluded: they live in the TimeSeries section).
 	Observability RegistrySnapshot `json:"observability"`
@@ -51,6 +56,9 @@ func (rep *Report) SetConfig(key string, value any) { rep.Config[key] = value }
 
 // SetMetric records one scalar result.
 func (rep *Report) SetMetric(key string, value float64) { rep.Metrics[key] = value }
+
+// SetSLO records the per-class service-level snapshots.
+func (rep *Report) SetSLO(classes []SLOSnapshot) { rep.SLO = classes }
 
 // Finish captures the registry into the report: the per-slot telemetry
 // becomes the timeseries section and everything else the observability

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"spacebooking/internal/obs"
 	"spacebooking/internal/topology"
 	"spacebooking/internal/workload"
 )
@@ -54,6 +55,10 @@ type BookRequest struct {
 	ArrivalSlot *int `json:"arrival_slot,omitempty"`
 	StartSlot   *int `json:"start_slot,omitempty"`
 	EndSlot     *int `json:"end_slot,omitempty"`
+	// RequestID is an optional client-assigned id echoed on the
+	// reservation and audit record, joining server-side traces to
+	// client-side logs (GET /v1/requests/{id}/trace accepts it too).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BookResponse is the body of POST /v1/book: the settled reservation,
@@ -109,6 +114,8 @@ func errorJSON(w http.ResponseWriter, code int, msg string) {
 func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/book", s.handleBook)
 	mux.HandleFunc("GET /v1/reservations/{id}", s.handleReservation)
+	mux.HandleFunc("GET /v1/requests/{id}/trace", s.handleRequestTrace)
+	mux.HandleFunc("GET /debug/traces.json", s.handleRecentTraces)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/config", s.handleConfig)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -118,25 +125,57 @@ func (s *Server) Register(mux *http.ServeMux) {
 // engine's decision, respond. A full queue responds immediately with
 // StatusOverloaded (HTTP 429) — explicit load shedding, never blocking.
 func (s *Server) handleBook(w http.ResponseWriter, r *http.Request) {
+	var rec *obs.TraceRec
+	var parseSpan int
+	if s.tracing {
+		rec = s.tracePool.Get(s.now())
+		parseSpan = rec.Begin(PhaseIngressParse, s.now())
+	}
 	var br BookRequest
 	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		s.tracePool.Put(rec)
 		errorJSON(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
 	p, err := s.newPending(br)
 	if err != nil {
+		s.tracePool.Put(rec)
 		errorJSON(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if rec != nil {
+		now := s.now()
+		rec.End(parseSpan, now)
+		p.rec = rec
+		p.headSampled = s.policy.SampleHead(uint64(p.id))
+		// The queue.wait span must open — and the audit debt register —
+		// before enqueue: the engine may touch p the instant the send
+		// lands.
+		p.qwSpan = rec.Begin(PhaseQueueWait, now)
+		s.auditWG.Add(1)
 	}
 	switch err := s.enqueue(p); err {
 	case nil:
 	case errShed:
+		s.sloAvail.Observe(false)
+		if s.tracing {
+			s.emitRefused(p, StatusOverloaded)
+			s.auditWG.Done()
+		}
 		writeJSON(w, http.StatusTooManyRequests, BookResponse{Status: StatusOverloaded})
 		return
 	case errDraining:
+		if s.tracing {
+			s.emitRefused(p, StatusDraining)
+			s.auditWG.Done()
+		}
 		writeJSON(w, http.StatusServiceUnavailable, BookResponse{Status: StatusDraining})
 		return
 	default:
+		if s.tracing {
+			s.emitRefused(p, StatusError)
+			s.auditWG.Done()
+		}
 		errorJSON(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -145,16 +184,28 @@ func (s *Server) handleBook(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// The client gave up; the decision is still made (admission is
 		// irrevocable) and stays queryable at /v1/reservations/{id}.
-		writeJSON(w, http.StatusAccepted, BookResponse{
-			Status:      StatusQueued,
-			Reservation: &Reservation{ID: p.id, Status: StatusQueued},
-		})
-		return
+		// For traced requests, hand audit emission to the engine — or,
+		// if it already decided, fall through to the normal path.
+		if !s.tracing || p.emitState.CompareAndSwap(emitWaiting, emitAbandoned) {
+			writeJSON(w, http.StatusAccepted, BookResponse{
+				Status:      StatusQueued,
+				Reservation: &Reservation{ID: p.id, Status: StatusQueued},
+			})
+			return
+		}
+		<-p.done
 	}
 	resv := p.resv
 	code := http.StatusOK
 	if resv.Status == StatusError {
 		code = http.StatusInternalServerError
+	}
+	if s.tracing {
+		respondSpan := p.rec.Begin(PhaseRespond, s.now())
+		writeJSON(w, code, BookResponse{Status: resv.Status, Reservation: &resv})
+		p.rec.End(respondSpan, s.now())
+		s.emitDecided(p, s.now())
+		return
 	}
 	writeJSON(w, code, BookResponse{Status: resv.Status, Reservation: &resv})
 }
@@ -208,14 +259,16 @@ func (s *Server) newPending(br BookRequest) (*pending, error) {
 		val:      val,
 		enqueued: s.now(),
 		done:     make(chan struct{}),
+		clientID: br.RequestID,
 	}
 	p.resv = Reservation{
-		ID:        p.id,
-		Status:    StatusQueued,
-		Src:       br.Src.String(),
-		Dst:       br.Dst.String(),
-		RateMbps:  br.RateMbps,
-		Valuation: val,
+		ID:              p.id,
+		Status:          StatusQueued,
+		Src:             br.Src.String(),
+		Dst:             br.Dst.String(),
+		RateMbps:        br.RateMbps,
+		Valuation:       val,
+		ClientRequestID: br.RequestID,
 	}
 	return p, nil
 }
@@ -233,6 +286,54 @@ func (s *Server) handleReservation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resv)
+}
+
+// handleRequestTrace serves GET /v1/requests/{id}/trace: the audit
+// record for one request, addressed by server id (numeric) or by the
+// client-assigned request_id. Only records still in the recent buffer
+// resolve; this is a debugging window, not a durable store (the JSONL
+// audit log is the durable stream).
+func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.tracing {
+		errorJSON(w, http.StatusNotFound, "tracing disabled (start spaced with -trace-sample, -audit-log or -trace)")
+		return
+	}
+	idStr := r.PathValue("id")
+	var rec *AuditRecord
+	if id, err := strconv.ParseInt(idStr, 10, 64); err == nil {
+		rec = s.sink.find(func(a *AuditRecord) bool { return a.ID == id })
+	} else {
+		rec = s.sink.find(func(a *AuditRecord) bool { return a.ClientID == idStr })
+	}
+	if rec == nil {
+		errorJSON(w, http.StatusNotFound,
+			fmt.Sprintf("no audit record for request %q (still in flight, or evicted from the recent buffer)", idStr))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleRecentTraces serves GET /debug/traces.json: the most recent
+// audit records, newest first. ?n= bounds the count.
+func (s *Server) handleRecentTraces(w http.ResponseWriter, r *http.Request) {
+	if !s.tracing {
+		errorJSON(w, http.StatusNotFound, "tracing disabled (start spaced with -trace-sample, -audit-log or -trace)")
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			errorJSON(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	recs := s.sink.Recent(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(recs),
+		"records": recs,
+	})
 }
 
 // handleStats serves GET /v1/stats.

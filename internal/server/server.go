@@ -84,6 +84,12 @@ type Config struct {
 	BatchSize int
 	// Now is the wall clock, for tests. Default time.Now.
 	Now func() time.Time
+	// Trace configures request-scoped tracing and the admission audit
+	// stream. The zero value disables tracing entirely.
+	Trace TraceConfig
+	// SLO configures per-class SLO tracking (always on; the zero value
+	// applies the documented defaults).
+	SLO SLOConfig
 	// testGate, when non-nil, stalls the engine goroutine before every
 	// batch until a value (or close) arrives — deterministic
 	// backpressure and drain tests only.
@@ -106,7 +112,19 @@ type Reservation struct {
 	Price       float64 `json:"price"`
 	Reason      string  `json:"reason,omitempty"`
 	TotalHops   int     `json:"total_hops"`
+	// ClientRequestID echoes the client-assigned request_id, joining
+	// reservations to client-side logs and audit records.
+	ClientRequestID string `json:"client_request_id,omitempty"`
 }
+
+// pending.emitState values: the handler and the engine agree via CAS on
+// who finalises (and emits the audit record for) a traced request, so
+// every decision is audited exactly once.
+const (
+	emitWaiting   int32 = iota // handler still waiting on done
+	emitDecided                // engine decided; handler finalises after responding
+	emitAbandoned              // handler's client left; engine finalises
+)
 
 // pending is one ingress-queue entry: the normalised booking plus the
 // completion signal its HTTP handler waits on.
@@ -126,6 +144,18 @@ type pending struct {
 	enqueued time.Time
 	resv     Reservation
 	done     chan struct{}
+
+	// Tracing state (zero-valued when tracing is disabled).
+	clientID    string
+	rec         *obs.TraceRec
+	qwSpan      int // queue.wait span index
+	bwSpan      int // batch.wait span index
+	eaSpan      int // engine.admit span index
+	headSampled bool
+	stats       probeSample
+	// emitState arbitrates the handler/engine emit handoff; written
+	// before close(done), so the handler's post-done reads are ordered.
+	emitState atomic.Int32
 }
 
 // Server is the long-running booking service.
@@ -151,10 +181,26 @@ type Server struct {
 
 	// Instruments (nil-safe when Run.Obs is nil).
 	gQueue     *obs.Gauge
+	gQueueHW   *obs.Gauge
 	ctrShed    *obs.Counter
 	ctrExpired *obs.Counter
 	ctrBatches *obs.Counter
 	histAdmit  *obs.Histogram
+
+	// SLO classes (always maintained; gauges are nil-safe).
+	sloLatency *obs.SLOClass
+	sloAvail   *obs.SLOClass
+
+	// Tracing (all nil/zero when cfg.Trace is disabled).
+	tracing   bool
+	tracePool *obs.TracePool
+	policy    obs.SamplePolicy
+	sink      *auditSink
+	probe     engineProbe
+	// auditWG counts traced requests whose audit record has not been
+	// emitted yet; Shutdown waits on it before flushing the sink so a
+	// graceful drain never truncates the audit stream.
+	auditWG sync.WaitGroup
 
 	// Stats mirrors maintained by the engine goroutine so /v1/stats
 	// never touches engine internals from another goroutine.
@@ -163,6 +209,7 @@ type Server struct {
 	statAccepted atomic.Int64
 	statRejected atomic.Int64
 	statRevenue  atomic.Uint64 // math.Float64bits
+	statQueueHW  atomic.Int64
 }
 
 // New builds the engine and starts the engine goroutine and slot clock.
@@ -186,6 +233,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.SLO.LatencyObjective == 0 {
+		cfg.SLO.LatencyObjective = 25 * time.Millisecond
+	}
+	if cfg.SLO.LatencyTarget == 0 {
+		cfg.SLO.LatencyTarget = 0.99
+	}
+	if cfg.SLO.AvailabilityTarget == 0 {
+		cfg.SLO.AvailabilityTarget = 0.999
+	}
 	eng, err := sim.NewEngine(cfg.Provider, cfg.Run)
 	if err != nil {
 		return nil, err
@@ -201,10 +257,28 @@ func New(cfg Config) (*Server, error) {
 		engineDone: make(chan struct{}),
 		resvs:      make(map[int64]Reservation),
 		gQueue:     reg.Gauge("server.queue_depth"),
+		gQueueHW:   reg.Gauge("server.queue_high_water"),
 		ctrShed:    reg.Counter("server.shed"),
 		ctrExpired: reg.Counter("server.expired"),
 		ctrBatches: reg.Counter("server.batches"),
 		histAdmit:  reg.Histogram("server.admit_latency", nil),
+		sloLatency: obs.NewSLOClass(reg, "latency", cfg.SLO.LatencyObjective.Seconds(), cfg.SLO.LatencyTarget),
+		sloAvail:   obs.NewSLOClass(reg, "availability", 0, cfg.SLO.AvailabilityTarget),
+	}
+	if cfg.Trace.enabled() {
+		sink, err := newAuditSink(cfg.Trace, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.tracing = true
+		s.tracePool = obs.NewTracePool()
+		s.policy = obs.SamplePolicy{
+			Rate:   cfg.Trace.SampleRate,
+			SlowNs: cfg.Trace.SlowThreshold.Nanoseconds(),
+		}
+		s.sink = sink
+		s.probe = newEngineProbe(reg)
+		eng.EnableTraceDetail()
 	}
 	s.statSlot.Store(-1)
 	go s.engineLoop()
@@ -238,7 +312,18 @@ func (s *Server) enqueue(p *pending) error {
 	}
 	select {
 	case s.in <- p:
-		s.gQueue.Set(float64(len(s.in)))
+		depth := int64(len(s.in))
+		s.gQueue.Set(float64(depth))
+		for {
+			hw := s.statQueueHW.Load()
+			if depth <= hw {
+				break
+			}
+			if s.statQueueHW.CompareAndSwap(hw, depth) {
+				s.gQueueHW.Set(float64(depth))
+				break
+			}
+		}
 		return nil
 	default:
 		s.ctrShed.Inc()
@@ -259,10 +344,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.lifeMu.Unlock()
 	select {
 	case <-s.engineDone:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
+	if s.tracing {
+		// The engine has drained; wait for handler-side finalisation of
+		// every traced request, then drain and flush the audit sink so
+		// the JSONL file is complete (no truncated records).
+		flushed := make(chan struct{})
+		go func() {
+			s.auditWG.Wait()
+			close(flushed)
+		}()
+		select {
+		case <-flushed:
+		case <-ctx.Done():
+			return fmt.Errorf("server: shutdown: audit flush: %w", ctx.Err())
+		}
+		if err := s.sink.Close(); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+	}
+	return nil
 }
 
 // Result returns the engine's final simulation result. Only available
@@ -302,6 +405,13 @@ func (s *Server) engineLoop() {
 		}
 		s.gQueue.Set(float64(len(s.in)))
 		s.ctrBatches.Inc()
+		if s.tracing {
+			now := s.now()
+			for _, q := range batch {
+				q.rec.End(q.qwSpan, now)
+				q.bwSpan = q.rec.Begin(PhaseBatchWait, now)
+			}
+		}
 		s.admitBatch(batch)
 	}
 	s.result, s.resultErr = s.eng.Finish()
@@ -320,6 +430,16 @@ func (s *Server) admitBatch(batch []*pending) {
 // admitOne is one request's turn on the engine goroutine.
 func (s *Server) admitOne(p *pending) {
 	defer close(p.done)
+
+	if s.tracing {
+		now := s.now()
+		p.rec.End(p.bwSpan, now)
+		p.eaSpan = p.rec.Begin(PhaseEngineAdmit, now)
+		// Deferred so every settle path (horizon, expired, error,
+		// decision) gets the same finalisation; defers run LIFO, so this
+		// completes the trace before close(p.done) releases the handler.
+		defer s.finishEngineTrace(p, s.probe.read(), p.rec.SinceNs(now))
+	}
 
 	// Resolve the arrival slot: the clock's current slot, or — in
 	// arrival-driven (max speed) mode — the client's declared slot,
@@ -403,12 +523,98 @@ func (s *Server) finishRejected(p *pending, reason string) {
 	s.store(p)
 }
 
-// store publishes the settled reservation and records admit latency.
+// store publishes the settled reservation, records admit latency and
+// feeds the SLO classes.
 func (s *Server) store(p *pending) {
-	s.histAdmit.Observe(s.now().Sub(p.enqueued).Seconds())
+	lat := s.now().Sub(p.enqueued).Seconds()
+	s.histAdmit.Observe(lat)
+	s.sloLatency.ObserveLatency(lat)
+	// Availability counts engine errors as bad; a rejection is the
+	// mechanism working, not an outage. Shed requests are observed at
+	// the refusal site (they never reach store).
+	s.sloAvail.Observe(p.resv.Status != StatusError)
 	s.resvMu.Lock()
 	s.resvs[p.id] = p.resv
 	s.resvMu.Unlock()
+}
+
+// finishEngineTrace closes the engine.admit span, attributes the
+// admission's counter deltas, and settles who emits the audit record:
+// normally the handler (after it writes the response), or the engine
+// itself when the handler's client abandoned the wait.
+func (s *Server) finishEngineTrace(p *pending, before probeSample, admitStartNs int64) {
+	now := s.now()
+	p.rec.End(p.eaSpan, now)
+	d := s.probe.read().sub(before)
+	p.stats = d
+	// The search timers include the pricing callbacks they invoke;
+	// report disjoint sub-phases by subtracting.
+	searchNs := d.searchNs - d.pricingNs
+	if searchNs < 0 {
+		searchNs = 0
+	}
+	p.rec.Add(PhaseEngineSearch, admitStartNs, searchNs)
+	p.rec.Add(PhaseEnginePricing, admitStartNs, d.pricingNs)
+	p.rec.Add(PhaseEngineCommit, admitStartNs, d.commitNs)
+	if !p.emitState.CompareAndSwap(emitWaiting, emitDecided) {
+		// The handler marked the request abandoned: no respond phase
+		// will happen, emit here.
+		s.emitDecided(p, now)
+	}
+}
+
+// emitDecided builds and emits the audit record for a settled request
+// and returns the trace recorder to the pool. Called exactly once per
+// traced decided request — by the handler after responding, or by
+// finishEngineTrace when the handler abandoned.
+func (s *Server) emitDecided(p *pending, now time.Time) {
+	defer s.auditWG.Done()
+	totalNs := p.rec.SinceNs(now)
+	rec := &AuditRecord{
+		ID:           p.id,
+		ClientID:     p.clientID,
+		TSUnixNs:     p.rec.Epoch().UnixNano(),
+		Outcome:      p.resv.Status,
+		Reason:       p.resv.Reason,
+		Price:        p.resv.Price,
+		Hops:         p.resv.TotalHops,
+		ArrivalSlot:  p.resv.ArrivalSlot,
+		StartSlot:    p.resv.StartSlot,
+		EndSlot:      p.resv.EndSlot,
+		Searches:     p.stats.searches,
+		PrunedLabels: p.stats.pruned,
+		HeapPops:     p.stats.heapPops,
+		DeficitWalks: p.stats.walks,
+		TotalNs:      totalNs,
+	}
+	// Tail sampling: anything that went wrong (or slow) always carries
+	// its full phase timeline; otherwise head sampling decides.
+	rec.Sampled = p.headSampled || p.resv.Status != StatusAccepted || s.policy.Slow(totalNs)
+	if rec.Sampled {
+		rec.Phases = p.rec.CopySpans()
+	}
+	s.tracePool.Put(p.rec)
+	p.rec = nil
+	s.sink.emit(rec)
+}
+
+// emitRefused audits a request the serving layer refused before it
+// reached the queue (shed or draining). Refusals are always sampled.
+func (s *Server) emitRefused(p *pending, outcome string) {
+	now := s.now()
+	p.rec.End(p.qwSpan, now)
+	rec := &AuditRecord{
+		ID:       p.id,
+		ClientID: p.clientID,
+		TSUnixNs: p.rec.Epoch().UnixNano(),
+		Outcome:  outcome,
+		TotalNs:  p.rec.SinceNs(now),
+		Sampled:  true,
+		Phases:   p.rec.CopySpans(),
+	}
+	s.tracePool.Put(p.rec)
+	p.rec = nil
+	s.sink.emit(rec)
 }
 
 // reservation returns a copy of the reservation, if known.
@@ -419,21 +625,38 @@ func (s *Server) reservation(id int64) (Reservation, bool) {
 	return r, ok
 }
 
+// TraceStats is the audit-pipeline section of /v1/stats (present only
+// when tracing is enabled).
+type TraceStats struct {
+	Records int64 `json:"records"`
+	Sampled int64 `json:"sampled"`
+	Dropped int64 `json:"dropped"`
+}
+
 // Stats is the live service snapshot behind GET /v1/stats.
 type Stats struct {
-	Algorithm     string  `json:"algorithm"`
-	Slot          int     `json:"slot"`
-	Horizon       int     `json:"horizon"`
-	ClockRate     float64 `json:"clock_rate"`
-	QueueDepth    int     `json:"queue_depth"`
-	QueueCapacity int     `json:"queue_capacity"`
-	BatchSize     int     `json:"batch_size"`
-	Total         int64   `json:"requests_total"`
-	Accepted      int64   `json:"requests_accepted"`
-	Rejected      int64   `json:"requests_rejected"`
-	Shed          int64   `json:"requests_shed"`
-	Revenue       float64 `json:"revenue"`
-	Draining      bool    `json:"draining"`
+	Algorithm      string            `json:"algorithm"`
+	Slot           int               `json:"slot"`
+	Horizon        int               `json:"horizon"`
+	ClockRate      float64           `json:"clock_rate"`
+	QueueDepth     int               `json:"queue_depth"`
+	QueueHighWater int64             `json:"queue_high_water"`
+	QueueCapacity  int               `json:"queue_capacity"`
+	BatchSize      int               `json:"batch_size"`
+	Total          int64             `json:"requests_total"`
+	Accepted       int64             `json:"requests_accepted"`
+	Rejected       int64             `json:"requests_rejected"`
+	Shed           int64             `json:"requests_shed"`
+	Revenue        float64           `json:"revenue"`
+	Draining       bool              `json:"draining"`
+	SLO            []obs.SLOSnapshot `json:"slo"`
+	Trace          *TraceStats       `json:"trace,omitempty"`
+}
+
+// SLOSnapshots returns the current state of every SLO class, for
+// /v1/stats and the run report.
+func (s *Server) SLOSnapshots() []obs.SLOSnapshot {
+	return []obs.SLOSnapshot{s.sloLatency.Snapshot(), s.sloAvail.Snapshot()}
 }
 
 // StatsSnapshot assembles the live counters.
@@ -441,21 +664,31 @@ func (s *Server) StatsSnapshot() Stats {
 	s.lifeMu.RLock()
 	draining := s.draining
 	s.lifeMu.RUnlock()
-	return Stats{
-		Algorithm:     s.eng.Algorithm(),
-		Slot:          s.Slot(),
-		Horizon:       s.horizon,
-		ClockRate:     s.cfg.ClockRate,
-		QueueDepth:    len(s.in),
-		QueueCapacity: s.cfg.QueueDepth,
-		BatchSize:     s.cfg.BatchSize,
-		Total:         s.statTotal.Load(),
-		Accepted:      s.statAccepted.Load(),
-		Rejected:      s.statRejected.Load(),
-		Shed:          s.ctrShed.Value(),
-		Revenue:       s.revenue(),
-		Draining:      draining,
+	st := Stats{
+		Algorithm:      s.eng.Algorithm(),
+		Slot:           s.Slot(),
+		Horizon:        s.horizon,
+		ClockRate:      s.cfg.ClockRate,
+		QueueDepth:     len(s.in),
+		QueueHighWater: s.statQueueHW.Load(),
+		QueueCapacity:  s.cfg.QueueDepth,
+		BatchSize:      s.cfg.BatchSize,
+		Total:          s.statTotal.Load(),
+		Accepted:       s.statAccepted.Load(),
+		Rejected:       s.statRejected.Load(),
+		Shed:           s.ctrShed.Value(),
+		Revenue:        s.revenue(),
+		Draining:       draining,
+		SLO:            s.SLOSnapshots(),
 	}
+	if s.tracing {
+		st.Trace = &TraceStats{
+			Records: s.sink.ctrRecords.Value(),
+			Sampled: s.sink.ctrSampled.Value(),
+			Dropped: s.sink.ctrDropped.Value(),
+		}
+	}
+	return st
 }
 
 func (s *Server) setRevenue(v float64) { s.statRevenue.Store(math.Float64bits(v)) }

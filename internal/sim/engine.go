@@ -117,6 +117,13 @@ func NewEngine(prov *topology.Provider, rc RunConfig) (*Engine, error) {
 // Algorithm returns the display name of the engine's algorithm.
 func (e *Engine) Algorithm() string { return e.alg.Name() }
 
+// EnableTraceDetail attaches the sub-phase wall-time counters (search,
+// pricing and commit nanoseconds) to the engine's state so a serving
+// layer can read per-request deltas around Admit. No-op without an
+// observed RunConfig. Must be called before admissions start: the
+// handles are plain fields of the single-writer state.
+func (e *Engine) EnableTraceDetail() { e.state.EnableTraceDetail(e.rc.Obs) }
+
 // Horizon returns the number of slots in the engine's topology.
 func (e *Engine) Horizon() int { return e.horizon }
 

@@ -1,26 +1,28 @@
 #!/usr/bin/env bash
-# bench.sh — run the routing fast-path benchmark suite plus a short
-# serving-layer load measurement, and emit a machine-readable
-# BENCH_5.json (schema documented in EXPERIMENTS.md).
+# bench.sh — run the routing fast-path benchmark suite plus short
+# serving-layer load measurements, and emit a machine-readable
+# BENCH_6.json (schema documented in EXPERIMENTS.md).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #
 # Environment:
 #   BENCHTIME       go test -benchtime value (default 10x)
-#   SERVE_DURATION  length of the spaced/spaceload closed-loop
-#                   measurement (default 5s; 0 skips the serving row)
+#   SERVE_DURATION  length of each spaced/spaceload closed-loop
+#                   measurement (default 5s; 0 skips the serving rows)
 #
 # The JSON is an array of objects, one per measurement, in run order.
 # Micro-benchmark rows are {name, ns_per_op, bytes_per_op,
-# allocs_per_op}; the serving row is {name: "SpaceloadClosedLoop",
-# req_per_sec, p50_ms, p99_ms}. Only benchmarks that report allocations
-# produce complete rows; the script passes -benchmem so every row is
-# complete.
+# allocs_per_op}; the serving rows are {name, req_per_sec, p50_ms,
+# p99_ms} — "SpaceloadClosedLoop" with tracing off and
+# "SpaceloadClosedLoopTraced" against spaced -trace-sample 1 with an
+# audit log, measuring the tracing overhead under full sampling. Only
+# benchmarks that report allocations produce complete rows; the script
+# passes -benchmem so every row is complete.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 BENCHTIME="${BENCHTIME:-10x}"
 SERVE_DURATION="${SERVE_DURATION:-5s}"
 
@@ -53,38 +55,48 @@ awk '
   }
 ' "$RAW" > "$ROWS"
 
-# Serving-layer measurement: a small-scale spaced daemon at max clock
+# Serving-layer measurements: a small-scale spaced daemon at max clock
 # speed, hammered closed-loop by spaceload; the SUMMARY line carries
-# sustained throughput and client-observed admission latency.
-if [[ "$SERVE_DURATION" != "0" ]]; then
-  echo "== serving layer: spaced + spaceload closed loop ($SERVE_DURATION) =="
-  go build -o "$WORK/spaced" ./cmd/spaced
-  go build -o "$WORK/spaceload" ./cmd/spaceload
-  "$WORK/spaced" -addr 127.0.0.1:0 -clock-rate 0 >"$WORK/spaced.log" 2>&1 &
+# sustained throughput and client-observed admission latency. Runs
+# twice — tracing off, then tracing at sample rate 1 with an audit log
+# — so the traced row quantifies the full-sampling overhead.
+serve_row() {
+  local row_name="$1"; shift
+  echo "== serving layer: spaced + spaceload closed loop, $row_name ($SERVE_DURATION) =="
+  : >"$WORK/spaced.log"
+  "$WORK/spaced" -addr 127.0.0.1:0 -clock-rate 0 "$@" >"$WORK/spaced.log" 2>&1 &
   SPACED_PID=$!
-  ADDR=""
+  local addr=""
   for _ in $(seq 1 120); do
-    ADDR="$(sed -n 's|^spaced listening on http://\(.*\)/$|\1|p' "$WORK/spaced.log")"
-    [[ -n "$ADDR" ]] && break
+    addr="$(sed -n 's|^spaced listening on http://\(.*\)/$|\1|p' "$WORK/spaced.log")"
+    [[ -n "$addr" ]] && break
     kill -0 "$SPACED_PID" 2>/dev/null || { cat "$WORK/spaced.log" >&2; echo "bench.sh: spaced exited before listening" >&2; exit 1; }
     sleep 1
   done
-  [[ -n "$ADDR" ]] || { cat "$WORK/spaced.log" >&2; echo "bench.sh: spaced never started listening" >&2; exit 1; }
+  [[ -n "$addr" ]] || { cat "$WORK/spaced.log" >&2; echo "bench.sh: spaced never started listening" >&2; exit 1; }
 
-  SUMMARY="$("$WORK/spaceload" -addr "http://$ADDR" -mode closed -concurrency 4 -duration "$SERVE_DURATION" \
+  local summary
+  summary="$("$WORK/spaceload" -addr "http://$addr" -mode closed -concurrency 4 -duration "$SERVE_DURATION" \
     | tee /dev/stderr | sed -n 's/^SUMMARY //p')"
   kill -TERM "$SPACED_PID"
   wait "$SPACED_PID" # non-zero = drain failed, and so does the script
   SPACED_PID=""
-  [[ -n "$SUMMARY" ]] || { echo "bench.sh: spaceload printed no SUMMARY line" >&2; exit 1; }
+  [[ -n "$summary" ]] || { echo "bench.sh: spaceload printed no SUMMARY line" >&2; exit 1; }
 
-  awk -v line="$SUMMARY" '
+  awk -v line="$summary" -v name="$row_name" '
     BEGIN {
       n = split(line, kv, " ")
       for (i = 1; i <= n; i++) { split(kv[i], p, "="); v[p[1]] = p[2] }
-      printf "  {\"name\": \"SpaceloadClosedLoop\", \"req_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s}\n", \
-        v["req_per_sec"], v["p50_ms"], v["p99_ms"]
+      printf "  {\"name\": \"%s\", \"req_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s}\n", \
+        name, v["req_per_sec"], v["p50_ms"], v["p99_ms"]
     }' >> "$ROWS"
+}
+
+if [[ "$SERVE_DURATION" != "0" ]]; then
+  go build -o "$WORK/spaced" ./cmd/spaced
+  go build -o "$WORK/spaceload" ./cmd/spaceload
+  serve_row SpaceloadClosedLoop
+  serve_row SpaceloadClosedLoopTraced -trace-sample 1.0 -audit-log "$WORK/audit.jsonl"
 fi
 
 {

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# trace_smoke.sh — end-to-end tracing smoke, the CI gate for the audit
+# pipeline: boot spaced with tracing on (-trace-sample 1 -audit-log),
+# fire a short spaceload burst, then assert
+#   * /debug/traces.json answers 200 with records,
+#   * the drained audit log is non-empty, valid JSONL (auditstat exits 0
+#     — it fails on any truncated or malformed line),
+#   * the shutdown report's server.trace.* counters are live, gated
+#     through obsdiff against the report itself.
+#
+# Usage: scripts/trace_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SPACED_PID=""
+cleanup() {
+  if [[ -n "$SPACED_PID" ]]; then kill "$SPACED_PID" 2>/dev/null || true; fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/spaced" ./cmd/spaced
+go build -o "$WORK/spaceload" ./cmd/spaceload
+go build -o "$WORK/auditstat" ./cmd/auditstat
+go build -o "$WORK/obsdiff" ./cmd/obsdiff
+
+LOG="$WORK/spaced.log"
+AUDIT="$WORK/audit.jsonl"
+REPORT="$WORK/spaced-report.json"
+"$WORK/spaced" -addr 127.0.0.1:0 -clock-rate 4 -queue-depth 64 -batch-size 8 \
+  -trace-sample 1 -audit-log "$AUDIT" -report "$REPORT" >"$LOG" 2>&1 &
+SPACED_PID=$!
+
+ADDR=""
+for _ in $(seq 1 120); do
+  ADDR="$(sed -n 's|^spaced listening on http://\(.*\)/$|\1|p' "$LOG")"
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$SPACED_PID" 2>/dev/null || { cat "$LOG" >&2; echo "trace_smoke: spaced exited before listening" >&2; exit 1; }
+  sleep 1
+done
+[[ -n "$ADDR" ]] || { cat "$LOG" >&2; echo "trace_smoke: spaced never started listening" >&2; exit 1; }
+echo "trace_smoke: daemon up on $ADDR (tracing at sample rate 1)"
+
+SUMMARY="$("$WORK/spaceload" -addr "http://$ADDR" -mode closed -concurrency 4 -duration 3s \
+  | tee /dev/stderr | sed -n 's/^SUMMARY //p')"
+[[ -n "$SUMMARY" ]] || { echo "trace_smoke: spaceload printed no SUMMARY line" >&2; exit 1; }
+
+# The recent-traces endpoint must answer 200 with at least one record.
+TRACES="$WORK/traces.json"
+CODE="$(curl -s -o "$TRACES" -w '%{http_code}' "http://$ADDR/debug/traces.json")"
+[[ "$CODE" == "200" ]] || { echo "trace_smoke: /debug/traces.json answered HTTP $CODE" >&2; exit 1; }
+grep -Eq '"count": *[1-9]' "$TRACES" || { echo "trace_smoke: /debug/traces.json holds no records" >&2; exit 1; }
+
+kill -TERM "$SPACED_PID"
+wait "$SPACED_PID"
+SPACED_PID=""
+
+# The drained audit log must be non-empty valid JSONL; auditstat fails
+# on any malformed line and prints the phase table on success.
+"$WORK/auditstat" -min 1 "$AUDIT"
+
+# Gate the report's trace counters through obsdiff: a self-compare must
+# exit 0, and the gated server.trace.* keys must exist and be live.
+"$WORK/obsdiff" -max-regress '' \
+  -gate counters.server.trace.records=0% \
+  -gate counters.server.trace.sampled=0% \
+  -gate counters.server.trace.dropped=0% \
+  "$REPORT" "$REPORT" >/dev/null
+grep -Eq '"server.trace.records": *[1-9]' "$REPORT" || \
+  { echo "trace_smoke: server.trace.records is zero or missing from the run report" >&2; exit 1; }
+grep -Eq '"server.trace.sampled": *[1-9]' "$REPORT" || \
+  { echo "trace_smoke: server.trace.sampled is zero or missing at sample rate 1" >&2; exit 1; }
+grep -q '"slo"' "$REPORT" || \
+  { echo "trace_smoke: slo section missing from the run report" >&2; exit 1; }
+
+echo "trace_smoke: OK"
