@@ -35,13 +35,15 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Full fast-path benchmark suite plus the serving-layer closed-loop
-# measurements (untraced and traced); writes BENCH_6.json (see
-# EXPERIMENTS.md for the schema and scripts/bench.sh for knobs).
+# measurements (baseline, traced, hot-spot tracked); writes
+# BENCH_7.json (see EXPERIMENTS.md for the schema and scripts/bench.sh
+# for knobs).
 bench:
 	./scripts/bench.sh
 
 # End-to-end serving smoke: build spaced + spaceload, run a short burst
-# against a live daemon, assert accepts and a clean SIGTERM drain.
+# against a live daemon, assert accepts, probe the hot-spot telemetry
+# endpoints, and require a clean SIGTERM drain.
 smoke-spaced:
 	./scripts/smoke_spaced.sh
 

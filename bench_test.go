@@ -20,6 +20,7 @@ import (
 
 	"spacebooking/internal/graph"
 	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/topology"
 	"spacebooking/internal/workload"
@@ -212,8 +213,9 @@ func BenchmarkCompetitive(b *testing.B) {
 
 // benchCEARHandle drives full simulation runs with the given search
 // configuration; the per-iteration numbers are dominated by per-request
-// Handle work once the provider is warm.
-func benchCEARHandle(b *testing.B, generic, prune bool) {
+// Handle work once the provider is warm. hotspotK > 0 turns on the
+// per-entity attribution layer (with the obs registry it requires).
+func benchCEARHandle(b *testing.B, generic, prune bool, hotspotK int) {
 	b.Helper()
 	env := benchEnvironment(b)
 	rc, err := env.RunConfig(sim.AlgCEAR, env.WorkloadConfig(env.DefaultArrivalRate(), 1))
@@ -222,6 +224,10 @@ func benchCEARHandle(b *testing.B, generic, prune bool) {
 	}
 	rc.GenericSearch = generic
 	rc.PruneBudget = prune
+	if hotspotK > 0 {
+		rc.Obs = obs.New()
+		rc.HotspotK = hotspotK
+	}
 	if !generic {
 		// Mirror the experiment scheduler: one pooled scratch serves
 		// every run on this goroutine.
@@ -239,16 +245,22 @@ func benchCEARHandle(b *testing.B, generic, prune bool) {
 // BenchmarkCEARHandle measures the per-request cost of Algorithm 1 on a
 // warm network, using the production configuration: the flat CSR fast
 // path with a reused search scratch.
-func BenchmarkCEARHandle(b *testing.B) { benchCEARHandle(b, false, false) }
+func BenchmarkCEARHandle(b *testing.B) { benchCEARHandle(b, false, false, 0) }
 
 // BenchmarkCEARHandleGeneric is the reference-path twin of
 // BenchmarkCEARHandle: Adjacency-interface views and the generic graph
 // searches. The gap between the two is the fast path's win.
-func BenchmarkCEARHandleGeneric(b *testing.B) { benchCEARHandle(b, true, false) }
+func BenchmarkCEARHandleGeneric(b *testing.B) { benchCEARHandle(b, true, false, 0) }
 
 // BenchmarkCEARHandlePruned adds budget pruning on top of the fast path:
 // searches abandon plans that already exceed the request's valuation.
-func BenchmarkCEARHandlePruned(b *testing.B) { benchCEARHandle(b, false, true) }
+func BenchmarkCEARHandlePruned(b *testing.B) { benchCEARHandle(b, false, true, 0) }
+
+// BenchmarkCEARHandleHotspots layers top-32 per-entity attribution onto
+// the production fast path: blame capture per rejection, commit-time
+// level observation per accept. Its gap over BenchmarkCEARHandle is the
+// full cost of hot-spot tracking.
+func BenchmarkCEARHandleHotspots(b *testing.B) { benchCEARHandle(b, false, false, 32) }
 
 // BenchmarkViewDijkstra measures one min-price path search over the
 // generic LSN view, the innermost loop of every algorithm on the

@@ -11,6 +11,7 @@
 //
 //	auditstat audit.jsonl
 //	auditstat -min 1 audit.jsonl   # fail unless at least 1 record
+//	auditstat -json audit.jsonl    # machine-readable summary
 //	cat audit.jsonl | auditstat -
 package main
 
@@ -33,6 +34,7 @@ func main() {
 
 func run() int {
 	minRecords := flag.Int("min", 1, "fail unless the log holds at least this many records")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON (same content as the human output)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -40,7 +42,7 @@ func run() int {
 		return 0
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: auditstat [-min N] <audit.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: auditstat [-min N] [-json] <audit.jsonl | ->")
 		return 2
 	}
 
@@ -105,6 +107,33 @@ func run() int {
 		return 1
 	}
 
+	sort.Slice(order, func(i, j int) bool { return phases[order[i]].totalNs > phases[order[j]].totalNs })
+
+	if *jsonOut {
+		sum := summary{
+			Source:   name,
+			Records:  records,
+			Sampled:  sampled,
+			Outcomes: outcomes,
+		}
+		for _, nameKey := range order {
+			a := phases[nameKey]
+			sum.Phases = append(sum.Phases, phaseSummary{
+				Name:   nameKey,
+				MeanMs: a.meanMs(),
+				MaxMs:  float64(a.maxNs) / 1e6,
+				Spans:  a.count,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "auditstat: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	fmt.Printf("%s: %d records, %d sampled\n", name, records, sampled)
 	keys := make([]string, 0, len(outcomes))
 	for k := range outcomes {
@@ -115,7 +144,6 @@ func run() int {
 		fmt.Printf("  %-12s %d\n", k, outcomes[k])
 	}
 	if len(order) > 0 {
-		sort.Slice(order, func(i, j int) bool { return phases[order[i]].totalNs > phases[order[j]].totalNs })
 		fmt.Printf("phases (over sampled records):\n")
 		fmt.Printf("  %-16s %10s %10s %8s\n", "phase", "mean_ms", "max_ms", "spans")
 		for _, nameKey := range order {
@@ -124,6 +152,23 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// summary is the -json output: the same content as the human summary,
+// one object per run.
+type summary struct {
+	Source   string         `json:"source"`
+	Records  int            `json:"records"`
+	Sampled  int            `json:"sampled"`
+	Outcomes map[string]int `json:"outcomes"`
+	Phases   []phaseSummary `json:"phases,omitempty"`
+}
+
+type phaseSummary struct {
+	Name   string  `json:"name"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	Spans  int64   `json:"spans"`
 }
 
 type phaseAgg struct {

@@ -21,8 +21,8 @@
 // the default gates. -gate adds explicit lower-is-better gates; KEY
 // addresses one value as metrics.K, counters.K,
 // histograms.NAME.{count,sum,min,max,mean,p50,p95,p99,p999},
-// phases.NAME.{total_seconds,count} or timeseries.NAME.{last,total}
-// (a bare KEY means metrics.KEY).
+// phases.NAME.{total_seconds,count}, timeseries.NAME.{last,total} or
+// hotspots.NAME.total (a bare KEY means metrics.KEY).
 //
 // Exit status: 0 when no gated value regresses, 1 on regression, 2 on
 // usage or load errors (including mixed report versions).
@@ -221,6 +221,19 @@ func lookup(rep *obs.Report, key string) (float64, bool) {
 			return float64(ts.Total), true
 		}
 		return 0, false
+	case "hotspots":
+		name, field, ok := cutLast(rest)
+		if !ok {
+			return 0, false
+		}
+		tk, exists := rep.Hotspots[name]
+		if !exists {
+			return 0, false
+		}
+		if field == "total" {
+			return tk.Total, true
+		}
+		return 0, false
 	}
 	// Unknown section: treat the whole key as a metric name (metric keys
 	// like "rejected.no-path" contain dots themselves).
@@ -365,6 +378,15 @@ func printDiff(w io.Writer, oldRep, newRep *obs.Report) {
 		return out
 	}
 	printSection(w, "timeseries final values", tsRows(oldRep), tsRows(newRep))
+
+	hotRows := func(rep *obs.Report) map[string]float64 {
+		out := make(map[string]float64)
+		for name, tk := range rep.Hotspots {
+			out[name+".total"] = tk.Total
+		}
+		return out
+	}
+	printSection(w, "hotspot totals", hotRows(oldRep), hotRows(newRep))
 }
 
 // printSection prints one aligned old -> new listing.

@@ -17,6 +17,7 @@
 //	       [-clock-rate R] [-queue-depth N] [-batch-size B]
 //	       [-valuation V] [-f1 F] [-f2 F]
 //	       [-trace] [-trace-sample P] [-slow-ms D] [-audit-log FILE]
+//	       [-hotspots=true|false] [-hotspot-k K]
 //	       [-drain-timeout D] [-report run.json]
 //
 // Tracing is off by default and free when off. Any of -trace,
@@ -67,6 +68,8 @@ func run() int {
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability [0,1] for full phase timelines (also enables tracing)")
 	slowMs := flag.Float64("slow-ms", 25, "latency SLO objective; slower traced requests are always sampled")
 	auditLog := flag.String("audit-log", "", "stream one JSON audit record per admission decision to this file (also enables tracing)")
+	hotspots := flag.Bool("hotspots", true, "track per-entity hot spots (links, batteries, source cells) behind /v1/hotspots and /debug/dash")
+	hotspotK := flag.Int("hotspot-k", 32, "entries per hot-spot tracker (bounded cardinality)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -109,6 +112,13 @@ func run() int {
 		return 1
 	}
 	rc.Obs = reg
+	if *hotspots {
+		if *hotspotK < 1 {
+			fmt.Fprintf(os.Stderr, "spaced: -hotspot-k %d must be positive\n", *hotspotK)
+			return 1
+		}
+		rc.HotspotK = *hotspotK
+	}
 	rc.Pricing, err = pricing.Derive(*f1, *f2, 20, 10)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -168,6 +178,9 @@ func run() int {
 		}
 		fmt.Printf("  tracing     sample %.3g, slow %.3gms, audit %s\n", *traceSample, *slowMs, auditDesc)
 	}
+	if *hotspots {
+		fmt.Printf("  hotspots    top-%d trackers at /v1/hotspots, dashboard at /debug/dash\n", *hotspotK)
+	}
 	fmt.Printf("send SIGINT or SIGTERM to drain and stop\n")
 
 	select {
@@ -199,6 +212,9 @@ func run() int {
 	st := srv.StatsSnapshot()
 	fmt.Printf("drained: %d bookings (%d accepted, %d rejected, %d shed), revenue %.4g, welfare ratio %.4f\n",
 		st.Total, st.Accepted, st.Rejected, st.Shed, res.Revenue, res.WelfareRatio)
+	if *hotspots {
+		server.SummarizeHotspots(srv.HotspotsSnapshot(), os.Stdout)
+	}
 
 	if *reportFile != "" {
 		rep := obs.NewReport("spaced")
@@ -212,6 +228,7 @@ func run() int {
 		rep.SetConfig("trace_sample", *traceSample)
 		rep.SetConfig("slow_ms", *slowMs)
 		rep.SetConfig("audit_log", *auditLog)
+		rep.SetConfig("hotspot_k", rc.HotspotK)
 		rep.SetMetric("requests_total", float64(st.Total))
 		rep.SetMetric("requests_accepted", float64(st.Accepted))
 		rep.SetMetric("requests_rejected", float64(st.Rejected))

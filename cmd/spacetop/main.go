@@ -1,0 +1,197 @@
+// Command spacetop is a top(1)-style terminal viewer for a running
+// spaced daemon: it polls GET /v1/hotspots and renders the ranked hot
+// ISLs, batteries and source cells, with per-interval deltas so a
+// moving hot spot stands out from a historically hot one.
+//
+// Usage:
+//
+//	spacetop [-addr http://127.0.0.1:8080] [-interval 2s] [-n 10] [-once]
+//
+// -once prints a single snapshot without clearing the screen (usable in
+// scripts and CI). Otherwise the screen redraws every -interval using
+// ANSI clear codes, until interrupted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"spacebooking/internal/buildinfo"
+	"spacebooking/internal/obs"
+	"spacebooking/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the spaced daemon")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	topN := flag.Int("n", 10, "rows per table")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Line("spacetop"))
+		return 0
+	}
+	if *topN < 1 {
+		fmt.Fprintf(os.Stderr, "spacetop: -n %d must be positive\n", *topN)
+		return 1
+	}
+	if *interval <= 0 {
+		fmt.Fprintf(os.Stderr, "spacetop: -interval %v must be positive\n", *interval)
+		return 1
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	url := strings.TrimRight(*addr, "/") + "/v1/hotspots"
+
+	cur, err := fetch(client, url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spacetop: %v\n", err)
+		return 1
+	}
+	if *once {
+		render(os.Stdout, cur, nil, *topN, false)
+		return 0
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	render(os.Stdout, cur, nil, *topN, true)
+	prev := cur
+	for {
+		select {
+		case <-sig:
+			fmt.Println()
+			return 0
+		case <-ticker.C:
+			next, err := fetch(client, url)
+			if err != nil {
+				// A draining/restarting daemon is normal; keep the last
+				// frame and note the error below it.
+				fmt.Printf("\nspacetop: %v (retrying)\n", err)
+				continue
+			}
+			render(os.Stdout, next, prev, *topN, true)
+			prev = next
+		}
+	}
+}
+
+// fetch pulls and decodes one hot-spot snapshot.
+func fetch(client *http.Client, url string) (*server.HotspotsResponse, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var h server.HotspotsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("GET %s: decode: %w", url, err)
+	}
+	return &h, nil
+}
+
+// valuesByKey indexes a tracker snapshot for the delta column.
+func valuesByKey(tk obs.TopKSnapshot) map[uint64]float64 {
+	m := make(map[uint64]float64, len(tk.Entries))
+	for _, e := range tk.Entries {
+		m[e.Key] = e.Value
+	}
+	return m
+}
+
+// render paints one frame. prev, when non-nil, supplies the previous
+// frame so each row shows its delta over the poll interval.
+func render(out io.Writer, h, prev *server.HotspotsResponse, topN int, clear bool) {
+	if clear {
+		// ANSI: home cursor + clear screen, so unchanged rows repaint in
+		// place instead of scrolling.
+		fmt.Fprint(out, "\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(out, "spacetop — slot %d, uptime %.0fs", h.Slot, h.UptimeSeconds)
+	if !h.Enabled {
+		fmt.Fprint(out, "  [hot-spot tracking DISABLED on the daemon]")
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "rejections: congested %d (per-link total %.0f), depleted %d (per-battery total %.0f)\n\n",
+		h.RejectedCongested, h.Links.Total, h.RejectedDepleted, h.Batteries.Total)
+
+	sections := []struct {
+		title  string
+		cur    obs.TopKSnapshot
+		prev   obs.TopKSnapshot
+		valFmt string
+	}{
+		{"HOT LINKS (congestion rejections)", h.Links, prevOr(prev).Links, "%.0f"},
+		{"LINK UTILIZATION (max committed)", h.LinkUtilization, prevOr(prev).LinkUtilization, "%.3f"},
+		{"HOT BATTERIES (depletion rejections)", h.Batteries, prevOr(prev).Batteries, "%.0f"},
+		{"BATTERY DEPTH-OF-DISCHARGE (max committed)", h.BatteryDoD, prevOr(prev).BatteryDoD, "%.3f"},
+		{"SOURCE CELLS (rejected)", h.SrcRejected, prevOr(prev).SrcRejected, "%.0f"},
+		{"SOURCE CELLS (accepted)", h.SrcAccepted, prevOr(prev).SrcAccepted, "%.0f"},
+	}
+	for _, sec := range sections {
+		var prevVals map[uint64]float64
+		if prev != nil {
+			prevVals = valuesByKey(sec.prev)
+		}
+		table(out, sec.title, sec.cur, prevVals, topN, sec.valFmt)
+	}
+}
+
+// prevOr turns a nil previous frame into a zero one so section wiring
+// stays declarative.
+func prevOr(prev *server.HotspotsResponse) *server.HotspotsResponse {
+	if prev == nil {
+		return &server.HotspotsResponse{}
+	}
+	return prev
+}
+
+// table prints one ranked tracker with a delta column.
+func table(out io.Writer, title string, tk obs.TopKSnapshot, prevVals map[uint64]float64, topN int, valFmt string) {
+	fmt.Fprintf(out, "%s  (total %.0f)\n", title, tk.Total)
+	if len(tk.Entries) == 0 {
+		fmt.Fprintln(out, "  (no entries yet)")
+		fmt.Fprintln(out)
+		return
+	}
+	fmt.Fprintf(out, "  %-18s %12s %10s\n", "entity", "value", "delta")
+	n := len(tk.Entries)
+	if n > topN {
+		n = topN
+	}
+	for i := 0; i < n; i++ {
+		e := tk.Entries[i]
+		label := e.Label
+		if label == "" {
+			label = fmt.Sprint(e.Key)
+		}
+		delta := ""
+		if prevVals != nil {
+			if d := e.Value - prevVals[e.Key]; d > 0 {
+				delta = "+" + fmt.Sprintf(valFmt, d)
+			} else if d < 0 {
+				delta = fmt.Sprintf(valFmt, d)
+			}
+		}
+		fmt.Fprintf(out, "  %-18s %12s %10s\n", label, fmt.Sprintf(valFmt, e.Value), delta)
+	}
+	fmt.Fprintln(out)
+}

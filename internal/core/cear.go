@@ -230,6 +230,7 @@ func (c *CEAR) energyTransitCost(sat, slot int, joules float64) float64 {
 		return true
 	})
 	if !feasible {
+		c.state.NoteDepletedSat(sat)
 		return math.Inf(1)
 	}
 	return cost

@@ -325,12 +325,16 @@ func (v *FlatView) LinkKeyFor(from, to int) LinkKey {
 }
 
 // priceEdge replicates View.priceEdge: capacity feasibility masks the
-// edge before the cost function prices it.
+// edge before the cost function prices it. Masked edges feed the blame
+// scratch exactly like the generic path (the memoised cost caches mean
+// a blocked edge is reported once per view rather than once per visit,
+// which is equivalent for the max-utilization blame rule).
 func (v *FlatView) priceEdge(from, to int, class graph.EdgeClass) float64 {
 	key := v.LinkKeyFor(from, to)
 	capacity := v.state.linkCapacity(key)
 	used := v.state.LinkUsedMbps(key, v.slot)
 	if used+v.demandMbps > capacity*(1+1e-12) {
+		v.state.noteBlockedLink(key, used/capacity)
 		return math.Inf(1)
 	}
 	return v.cost(key, class, capacity, used/capacity)

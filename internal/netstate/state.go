@@ -126,6 +126,8 @@ type State struct {
 	// txn is the snapshot/undo arena of the single open transaction;
 	// see txnScratch.
 	txn txnScratch
+	// hot is the opt-in per-entity attribution state; see EnableHotspots.
+	hot hotspots
 }
 
 // stateInstruments caches the state's observability handles. All nil
@@ -378,6 +380,7 @@ scan:
 	if !dup {
 		for _, c := range consumptions {
 			if err := s.batteries[c.Sat].TrialConsume(c.Slot, c.Joules); err != nil {
+				s.NoteDepletedSat(c.Sat)
 				return fmt.Errorf("netstate: satellite %d: %w", c.Sat, err)
 			}
 		}
@@ -394,6 +397,7 @@ scan:
 		sort.Slice(cs, func(i, j int) bool { return cs[i].Slot < cs[j].Slot })
 		for _, c := range cs {
 			if err := clone.Consume(c.Slot, c.Joules); err != nil {
+				s.NoteDepletedSat(sat)
 				return fmt.Errorf("netstate: satellite %d: %w", sat, err)
 			}
 		}

@@ -56,18 +56,32 @@ type txnScratch struct {
 	stamps   []uint32
 	snaps    []*energy.Battery
 	touched  []int
+	// dod records the (battery, slot) pairs the open transaction drew
+	// from, for commit-time depth-of-discharge observation when hot-spot
+	// tracking is enabled. Reused like the undo log.
+	dod []dodPend
 }
 
 // Begin starts a transaction. A State supports any number of sequential
 // transactions; interleaving two open transactions on one State is a
 // caller bug (and always was — the snapshot arena just depends on it).
+// Begin must stay within the inlining budget: inlined at the admission
+// call sites, the returned Txn is stack-allocated; the scratch reset
+// lives in its own helper for exactly that reason.
 func (s *State) Begin() *Txn {
-	a := &s.txn
+	s.txn.begin(len(s.batteries))
+	return &Txn{state: s}
+}
+
+// begin resets the scratch for a fresh transaction, reusing every
+// previously grown buffer.
+func (a *txnScratch) begin(numSats int) {
 	a.linkUndo = a.linkUndo[:0]
 	a.touched = a.touched[:0]
-	if len(a.stamps) != len(s.batteries) {
-		a.stamps = make([]uint32, len(s.batteries))
-		a.snaps = make([]*energy.Battery, len(s.batteries))
+	a.dod = a.dod[:0]
+	if len(a.stamps) != numSats {
+		a.stamps = make([]uint32, numSats)
+		a.snaps = make([]*energy.Battery, numSats)
 		a.epoch = 0
 	}
 	a.epoch++
@@ -75,7 +89,6 @@ func (s *State) Begin() *Txn {
 		clearUint32(a.stamps)
 		a.epoch = 1
 	}
-	return &Txn{state: s}
 }
 
 // ReservePath reserves the view's demand on every link of the path in
@@ -124,6 +137,9 @@ func (t *Txn) Consume(consumptions []Consumption) error {
 		if err := t.state.batteries[c.Sat].Consume(c.Slot, c.Joules); err != nil {
 			return fmt.Errorf("netstate: satellite %d: %w", c.Sat, err)
 		}
+		if t.state.hot.enabled {
+			a.dod = append(a.dod, dodPend{sat: c.Sat, slot: c.Slot})
+		}
 	}
 	return nil
 }
@@ -145,10 +161,15 @@ func (t *Txn) Rollback() {
 	}
 }
 
-// Commit finalises the transaction, dropping the undo log.
+// Commit finalises the transaction, dropping the undo log. With
+// hot-spot tracking enabled it also feeds the level trackers from the
+// committed reservations (post-commit link utilization and battery
+// depth-of-discharge) — observation happens here, not during trials,
+// so rolled-back state never reaches the trackers.
 func (t *Txn) Commit() {
 	if !t.done {
 		t.state.instr.txnCommits.Inc()
+		t.state.observeCommit()
 	}
 	t.done = true
 }

@@ -116,11 +116,15 @@ func (v *View) LinkKeyFor(from, to int) LinkKey {
 }
 
 // priceEdge computes an edge's cost, masking capacity-infeasible links.
+// Masked edges are reported to the blame scratch (pure observation —
+// the returned cost is unchanged) so a congestion rejection can be
+// attributed to the fullest link the search bounced off.
 func (v *View) priceEdge(from, to int, class graph.EdgeClass) float64 {
 	key := v.LinkKeyFor(from, to)
 	capacity := v.state.linkCapacity(key)
 	used := v.state.LinkUsedMbps(key, v.slot)
 	if used+v.demandMbps > capacity*(1+1e-12) {
+		v.state.noteBlockedLink(key, used/capacity)
 		return math.Inf(1)
 	}
 	return v.cost(key, class, capacity, used/capacity)

@@ -77,6 +77,17 @@ func newDebugMux(holder *regHolder) *http.ServeMux {
 			return enc.Encode(ts)
 		})
 	}))
+	mux.HandleFunc("/hotspots.json", withReg(func(w http.ResponseWriter, reg *Registry) {
+		serveBuffered(w, "application/json", func(out io.Writer) error {
+			tk := reg.Snapshot().TopK
+			if tk == nil {
+				tk = map[string]TopKSnapshot{}
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(tk)
+		})
+	}))
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -95,6 +106,7 @@ const debugIndex = `spacebooking debug server
   /metrics          Prometheus text exposition
   /metrics.json     registry snapshot
   /timeseries.json  per-slot telemetry
+  /hotspots.json    top-K entity trackers
   /debug/pprof/     live profiles
 `
 

@@ -87,6 +87,31 @@ func TestDebugMuxTimeseriesEndpoint(t *testing.T) {
 	}
 }
 
+// TestDebugMuxTimeseriesExactlyFull serves a ring at exactly its
+// capacity through the endpoint: all samples present, zero dropped.
+func TestDebugMuxTimeseriesExactlyFull(t *testing.T) {
+	r := New()
+	s := r.Sampler(3).Series("slot.accepted")
+	for i := 0; i < 3; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	rec := get(t, NewDebugMux(r), "/timeseries.json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var ts map[string]SeriesSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &ts); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	snap := ts["slot.accepted"]
+	if snap.Capacity != 3 || snap.Total != 3 || len(snap.Slots) != 3 {
+		t.Fatalf("exactly-full endpoint snapshot = %+v", snap)
+	}
+	if snap.Slots[0] != 0 || snap.Slots[2] != 2 || snap.Last() != 2 {
+		t.Fatalf("sample order = %+v", snap)
+	}
+}
+
 func TestDebugMuxIndexAndNotFound(t *testing.T) {
 	rec := get(t, newTestMux(), "/")
 	if rec.Code != http.StatusOK {
@@ -96,7 +121,7 @@ func TestDebugMuxIndexAndNotFound(t *testing.T) {
 		t.Fatalf("index content type = %q", ct)
 	}
 	body, _ := io.ReadAll(rec.Body)
-	for _, want := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/debug/pprof/"} {
+	for _, want := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/hotspots.json", "/debug/pprof/"} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("index missing %q:\n%s", want, body)
 		}
@@ -111,7 +136,7 @@ func TestDebugMuxIndexAndNotFound(t *testing.T) {
 // a render failure can never truncate a response mid-stream.
 func TestDebugMuxContentLength(t *testing.T) {
 	mux := newTestMux()
-	for _, path := range []string{"/", "/metrics", "/metrics.json", "/timeseries.json"} {
+	for _, path := range []string{"/", "/metrics", "/metrics.json", "/timeseries.json", "/hotspots.json"} {
 		rec := get(t, mux, path)
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s status = %d", path, rec.Code)
@@ -150,7 +175,7 @@ func TestServeBufferedRenderFailure(t *testing.T) {
 // panic, when no registry is attached yet.
 func TestDebugMuxNoRegistry(t *testing.T) {
 	mux := NewDebugMux(nil)
-	for _, path := range []string{"/metrics", "/metrics.json", "/timeseries.json"} {
+	for _, path := range []string{"/metrics", "/metrics.json", "/timeseries.json", "/hotspots.json"} {
 		if rec := get(t, mux, path); rec.Code != http.StatusServiceUnavailable {
 			t.Errorf("%s with nil registry: status = %d, want 503", path, rec.Code)
 		}

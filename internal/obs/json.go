@@ -16,6 +16,7 @@ type RegistrySnapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Phases     []PhaseSnapshot              `json:"phases,omitempty"`
 	TimeSeries map[string]SeriesSnapshot    `json:"timeseries,omitempty"`
+	TopK       map[string]TopKSnapshot      `json:"topk,omitempty"`
 }
 
 // Snapshot captures the registry. Safe to call concurrently with
@@ -40,6 +41,10 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	phases := make(map[string]*Phase, len(r.phases))
 	for k, v := range r.phases {
 		phases[k] = v
+	}
+	topks := make(map[string]*TopK, len(r.topks))
+	for k, v := range r.topks {
+		topks[k] = v
 	}
 	sampler := r.sampler
 	r.mu.Unlock()
@@ -70,6 +75,12 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			Count:        p.count.Load(),
 			TotalSeconds: time.Duration(p.totalNs.Load()).Seconds(),
 		})
+	}
+	if len(topks) > 0 {
+		snap.TopK = make(map[string]TopKSnapshot, len(topks))
+		for k, t := range topks {
+			snap.TopK[k] = t.Snapshot()
+		}
 	}
 	snap.TimeSeries = sampler.Snapshot()
 	return snap

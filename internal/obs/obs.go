@@ -90,6 +90,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	phases   map[string]*Phase
+	topks    map[string]*TopK
 	sampler  *Sampler
 }
 
@@ -100,6 +101,7 @@ func New() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		phases:   make(map[string]*Phase),
+		topks:    make(map[string]*TopK),
 	}
 }
 
@@ -178,6 +180,9 @@ func (r *Registry) Reset() {
 	for _, p := range r.phases {
 		p.count.Store(0)
 		p.totalNs.Store(0)
+	}
+	for _, t := range r.topks {
+		t.reset()
 	}
 	r.sampler.reset()
 }

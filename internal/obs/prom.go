@@ -70,6 +70,20 @@ func writeProm(w io.Writer, snap RegistrySnapshot) error {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
 		fmt.Fprintf(&b, "%s %s\n", pn, promFloat(ts.Last()))
 	}
+	for _, name := range sortedKeys(snap.TopK) {
+		tk := snap.TopK[name]
+		pn := PromName(name)
+		fmt.Fprintf(&b, "# HELP %s Top-%d entries of tracker %q (mode %s).\n", pn, tk.K, name, tk.Mode)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+		for _, e := range tk.Entries {
+			label := e.Label
+			if label == "" {
+				label = strconv.FormatUint(e.Key, 10)
+			}
+			fmt.Fprintf(&b, "%s{entity=%q} %s\n", pn, label, promFloat(e.Value))
+		}
+		fmt.Fprintf(&b, "%s_total %s\n", pn, promFloat(tk.Total))
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

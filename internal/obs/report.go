@@ -10,8 +10,9 @@ import (
 // ReportVersion is bumped whenever the report schema changes
 // incompatibly, so downstream diff tooling (cmd/obsdiff) can refuse
 // mixed versions. Version 2 added the top-level timeseries section;
-// version 3 added the slo section and the p999 histogram quantile.
-const ReportVersion = 3
+// version 3 added the slo section and the p999 histogram quantile;
+// version 4 added the hotspots section (top-K entity trackers).
+const ReportVersion = 4
 
 // Report is the machine-readable end-of-run artifact written by
 // `cearsim -report run.json` (and spacebench): the run's configuration
@@ -36,6 +37,10 @@ type Report struct {
 	// objective attainment and error-budget burn) for tools that track
 	// them, like the spaced serving daemon. Schema v3.
 	SLO []SLOSnapshot `json:"slo,omitempty"`
+	// Hotspots holds the end-of-run top-K entity trackers (hot ISLs,
+	// depleted batteries, source grid cells) keyed by tracker name.
+	// Schema v4.
+	Hotspots map[string]TopKSnapshot `json:"hotspots,omitempty"`
 	// Observability is the registry snapshot at the end of the run
 	// (time series excluded: they live in the TimeSeries section).
 	Observability RegistrySnapshot `json:"observability"`
@@ -61,12 +66,15 @@ func (rep *Report) SetMetric(key string, value float64) { rep.Metrics[key] = val
 func (rep *Report) SetSLO(classes []SLOSnapshot) { rep.SLO = classes }
 
 // Finish captures the registry into the report: the per-slot telemetry
-// becomes the timeseries section and everything else the observability
-// section. A nil registry leaves both empty.
+// becomes the timeseries section, the top-K trackers the hotspots
+// section, and everything else the observability section. A nil
+// registry leaves them empty.
 func (rep *Report) Finish(r *Registry) {
 	snap := r.Snapshot()
 	rep.TimeSeries = snap.TimeSeries
 	snap.TimeSeries = nil
+	rep.Hotspots = snap.TopK
+	snap.TopK = nil
 	rep.Observability = snap
 }
 

@@ -48,6 +48,35 @@ func TestSeriesRingOverwrite(t *testing.T) {
 	}
 }
 
+// TestSeriesExactlyFull pins the boundary the ring is most likely to
+// get wrong: exactly capacity samples recorded, so head has wrapped to
+// zero but nothing has been dropped yet. Every sample must come back,
+// oldest first, and the very next Record must overwrite only the oldest.
+func TestSeriesExactlyFull(t *testing.T) {
+	s := newSeries(4)
+	for i := 0; i < 4; i++ {
+		s.Record(int64(i), float64(100+i))
+	}
+	snap := s.Snapshot()
+	if snap.Total != 4 || len(snap.Slots) != 4 {
+		t.Fatalf("exactly-full snapshot = %+v", snap)
+	}
+	for i := 0; i < 4; i++ {
+		if snap.Slots[i] != int64(i) || snap.Values[i] != float64(100+i) {
+			t.Fatalf("exactly-full retained = %v/%v, want 0..3 in order", snap.Slots, snap.Values)
+		}
+	}
+	if snap.Last() != 103 {
+		t.Fatalf("last = %v, want 103", snap.Last())
+	}
+	// One more sample: slot 0 drops, 1..4 remain, still oldest first.
+	s.Record(4, 104)
+	snap = s.Snapshot()
+	if snap.Total != 5 || len(snap.Slots) != 4 || snap.Slots[0] != 1 || snap.Slots[3] != 4 {
+		t.Fatalf("post-wrap snapshot = %+v", snap)
+	}
+}
+
 func TestNilSamplerAndSeries(t *testing.T) {
 	var r *Registry
 	sp := r.Sampler(16)

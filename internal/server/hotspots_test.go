@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spacebooking/internal/obs"
+)
+
+// hotTestServer builds a server with per-entity tracking enabled and a
+// few decided bookings behind it.
+func hotTestServer(t *testing.T, k int) (*Server, string) {
+	t.Helper()
+	rc := testRunConfig(t, 2, 21)
+	rc.Obs = obs.New()
+	rc.HotspotK = k
+	s, hs := newTestServer(t, Config{Run: rc, QueueDepth: 8})
+	for i := 0; i < 6; i++ {
+		code, _ := postBook(t, hs.URL, BookRequest{
+			Src:      EndpointRef{Kind: "ground", Index: i % 4},
+			Dst:      EndpointRef{Kind: "ground", Index: (i + 1) % 4},
+			RateMbps: 900, DurationSlots: 3,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("booking %d: HTTP %d", i, code)
+		}
+	}
+	return s, hs.URL
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func TestHotspotsEndpoint(t *testing.T) {
+	_, base := hotTestServer(t, 16)
+	var h HotspotsResponse
+	getJSON(t, base+"/v1/hotspots", &h)
+	if !h.Enabled {
+		t.Fatal("tracking configured but response says disabled")
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v, want >= 0", h.UptimeSeconds)
+	}
+	// Every decision lands in exactly one source-cell tracker.
+	if h.SrcAccepted.Total+h.SrcRejected.Total != 6 {
+		t.Errorf("src trackers account for %v+%v decisions, want 6",
+			h.SrcAccepted.Total, h.SrcRejected.Total)
+	}
+	// The aggregate counters and the per-entity totals reconcile exactly.
+	if h.Links.Total != float64(h.RejectedCongested) {
+		t.Errorf("per-link total %v != rejected_congested %d", h.Links.Total, h.RejectedCongested)
+	}
+	if h.Batteries.Total != float64(h.RejectedDepleted) {
+		t.Errorf("per-battery total %v != rejected_depleted %d", h.Batteries.Total, h.RejectedDepleted)
+	}
+	for _, tk := range []obs.TopKSnapshot{h.Links, h.Batteries, h.SrcAccepted, h.SrcRejected} {
+		if tk.K != 16 {
+			t.Errorf("tracker K = %d, want 16", tk.K)
+		}
+		if tk.Mode != "sum" {
+			t.Errorf("tracker mode = %q, want sum", tk.Mode)
+		}
+	}
+	if h.LinkUtilization.Mode != "max" || h.BatteryDoD.Mode != "max" {
+		t.Errorf("level trackers mode = %q/%q, want max", h.LinkUtilization.Mode, h.BatteryDoD.Mode)
+	}
+	// Accepted traffic committed onto links: utilization was observed.
+	if h.SrcAccepted.Total > 0 && len(h.LinkUtilization.Entries) == 0 {
+		t.Error("accepted bookings but no link utilization observed")
+	}
+}
+
+func TestHotspotsEndpointDisabled(t *testing.T) {
+	rc := testRunConfig(t, 2, 22)
+	_, hs := newTestServer(t, Config{Run: rc, QueueDepth: 8})
+	var h HotspotsResponse
+	getJSON(t, hs.URL+"/v1/hotspots", &h)
+	if h.Enabled {
+		t.Fatal("tracking not configured but response says enabled")
+	}
+	if h.Links.Total != 0 || len(h.Links.Entries) != 0 {
+		t.Errorf("disabled response carries tracker data: %+v", h.Links)
+	}
+}
+
+func TestConstellationEndpoint(t *testing.T) {
+	s, base := hotTestServer(t, 16)
+	var c ConstellationResponse
+	getJSON(t, base+"/debug/constellation.json", &c)
+	if !c.Enabled || c.Horizon != 48 {
+		t.Fatalf("header = enabled %v horizon %d", c.Enabled, c.Horizon)
+	}
+	if c.Slot < 0 || c.Slot >= c.Horizon {
+		t.Fatalf("slot %d outside [0,%d)", c.Slot, c.Horizon)
+	}
+	numSats := s.cfg.Provider.NumSats()
+	if len(c.Satellites) != numSats {
+		t.Fatalf("satellites = %d, want %d", len(c.Satellites), numSats)
+	}
+	for _, sat := range c.Satellites {
+		if sat.LatDeg < -90 || sat.LatDeg > 90 || sat.LonDeg < -180 || sat.LonDeg > 180 {
+			t.Fatalf("sat %d at (%v,%v), outside geodetic range", sat.ID, sat.LatDeg, sat.LonDeg)
+		}
+		if sat.DoD < -1 || sat.DoD > 1 {
+			t.Fatalf("sat %d DoD = %v, want [-1,1]", sat.ID, sat.DoD)
+		}
+	}
+	if len(c.Sites) != len(testSites()) {
+		t.Fatalf("sites = %d, want %d", len(c.Sites), len(testSites()))
+	}
+	for _, l := range c.HotLinks {
+		if l.From >= numSats || l.To >= numSats {
+			t.Fatalf("hot link %d->%d is not an ISL", l.From, l.To)
+		}
+		if l.Util < 0 || l.Util > 1 {
+			t.Fatalf("hot link %d->%d util = %v", l.From, l.To, l.Util)
+		}
+	}
+}
+
+func TestMapSVGAndDashEndpoints(t *testing.T) {
+	_, base := hotTestServer(t, 16)
+
+	resp, err := http.Get(base + "/debug/map.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("map.svg: HTTP %d, content type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(body, "<svg") || !strings.Contains(body, "</svg>") {
+		t.Fatalf("map.svg is not a complete SVG document:\n%.200s", body)
+	}
+	// One circle per satellite plus legend markers.
+	if got := strings.Count(body, "<circle"); got < 96 {
+		t.Errorf("map.svg has %d circles, want >= 96 satellites", got)
+	}
+	if !strings.Contains(body, "spaced live constellation") {
+		t.Error("map.svg missing its title")
+	}
+
+	resp, err = http.Get(base + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dash := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("dash: HTTP %d, content type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{"/v1/hotspots", "/debug/map.svg", "setInterval"} {
+		if !strings.Contains(dash, want) {
+			t.Errorf("dash HTML missing %q", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// TestStatsUptimeAndVersion pins the /v1/stats additions: a build
+// version string and an uptime that follows the server's clock.
+func TestStatsUptimeAndVersion(t *testing.T) {
+	rc := testRunConfig(t, 2, 23)
+	var mu sync.Mutex
+	now := testEpoch
+	_, hs := newTestServer(t, Config{
+		Run: rc, QueueDepth: 8,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+	})
+	var st Stats
+	getJSON(t, hs.URL+"/v1/stats", &st)
+	if st.Version == "" {
+		t.Error("stats version is empty")
+	}
+	if st.UptimeSeconds != 0 {
+		t.Errorf("uptime at birth = %v, want 0", st.UptimeSeconds)
+	}
+	mu.Lock()
+	now = now.Add(90 * time.Second)
+	mu.Unlock()
+	getJSON(t, hs.URL+"/v1/stats", &st)
+	if st.UptimeSeconds != 90 {
+		t.Errorf("uptime after 90s = %v, want 90", st.UptimeSeconds)
+	}
+}
+
+func TestSummarizeHotspots(t *testing.T) {
+	var b strings.Builder
+	SummarizeHotspots(HotspotsResponse{}, &b)
+	if got := strings.TrimSpace(b.String()); got != "hotspots: disabled" {
+		t.Fatalf("disabled summary = %q", got)
+	}
+	b.Reset()
+	SummarizeHotspots(HotspotsResponse{
+		Enabled: true,
+		Links: obs.TopKSnapshot{Total: 3, Entries: []obs.TopKEntry{
+			{Key: 1, Label: "12->13", Value: 2}, {Key: 2, Value: 1},
+		}},
+	}, &b)
+	out := b.String()
+	for _, want := range []string{"link_rejections total=3", "12->13=2", "battery_rejections total=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -118,6 +118,10 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /debug/traces.json", s.handleRecentTraces)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/config", s.handleConfig)
+	mux.HandleFunc("GET /v1/hotspots", s.handleHotspots)
+	mux.HandleFunc("GET /debug/constellation.json", s.handleConstellation)
+	mux.HandleFunc("GET /debug/map.svg", s.handleMapSVG)
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 

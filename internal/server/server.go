@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/obs"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/topology"
@@ -165,6 +166,7 @@ type Server struct {
 	clock   *slotClock
 	horizon int
 	now     func() time.Time
+	started time.Time
 
 	in chan *pending
 	// lifeMu guards draining and the close of in: enqueues hold it
@@ -253,6 +255,7 @@ func New(cfg Config) (*Server, error) {
 		clock:      newSlotClock(cfg.ClockRate, cfg.Now()),
 		horizon:    cfg.Provider.Horizon(),
 		now:        cfg.Now,
+		started:    cfg.Now(),
 		in:         make(chan *pending, cfg.QueueDepth),
 		engineDone: make(chan struct{}),
 		resvs:      make(map[int64]Reservation),
@@ -636,6 +639,8 @@ type TraceStats struct {
 // Stats is the live service snapshot behind GET /v1/stats.
 type Stats struct {
 	Algorithm      string            `json:"algorithm"`
+	Version        string            `json:"version"`
+	UptimeSeconds  float64           `json:"uptime_seconds"`
 	Slot           int               `json:"slot"`
 	Horizon        int               `json:"horizon"`
 	ClockRate      float64           `json:"clock_rate"`
@@ -666,6 +671,8 @@ func (s *Server) StatsSnapshot() Stats {
 	s.lifeMu.RUnlock()
 	st := Stats{
 		Algorithm:      s.eng.Algorithm(),
+		Version:        buildinfo.Read().Version,
+		UptimeSeconds:  s.now().Sub(s.started).Seconds(),
 		Slot:           s.Slot(),
 		Horizon:        s.horizon,
 		ClockRate:      s.cfg.ClockRate,

@@ -54,6 +54,16 @@ type Engine struct {
 	slotAccepted int64
 	slotRejected int64
 
+	// Hot-spot attribution (nil / false unless RunConfig.HotspotK > 0):
+	// acceptance/rejection trackers keyed by source cell, plus the
+	// aggregate rejection counters the per-entity trackers reconcile
+	// against exactly (see Admit's rejection branch).
+	hotEnabled      bool
+	hotSrcAccepted  *obs.TopK
+	hotSrcRejected  *obs.TopK
+	ctrRejCongested *obs.Counter
+	ctrRejDepleted  *obs.Counter
+
 	admSpan    obs.Span
 	admStarted bool
 	finished   bool
@@ -95,6 +105,16 @@ func NewEngine(prov *topology.Provider, rc RunConfig) (*Engine, error) {
 	e.sampler = rc.Obs.Sampler(horizon)
 	e.ctrTotal = rc.Obs.Counter("sim.requests.total")
 	e.ctrAccepted = rc.Obs.Counter("sim.requests.accepted")
+	if rc.HotspotK > 0 && rc.Obs != nil {
+		state.EnableHotspots(rc.Obs, rc.HotspotK)
+		e.hotEnabled = state.HotspotsEnabled()
+		e.hotSrcAccepted = rc.Obs.TopK("sim.hotspots.src_accepted", rc.HotspotK, obs.TopKSum)
+		e.hotSrcRejected = rc.Obs.TopK("sim.hotspots.src_rejected", rc.HotspotK, obs.TopKSum)
+		e.hotSrcAccepted.SetLabeler(srcCellLabel)
+		e.hotSrcRejected.SetLabeler(srcCellLabel)
+		e.ctrRejCongested = rc.Obs.Counter("sim.requests.rejected_congested")
+		e.ctrRejDepleted = rc.Obs.Counter("sim.requests.rejected_depleted")
+	}
 	e.histSlotTime = rc.Obs.Histogram("sim.slot_seconds", nil)
 	e.tsAccepted = e.sampler.Series("slot.accepted")
 	e.tsRejected = e.sampler.Series("slot.rejected")
@@ -190,6 +210,9 @@ func (e *Engine) Admit(req workload.Request) (router.Decision, error) {
 	}
 	e.curSlot = req.ArrivalSlot
 
+	if e.hotEnabled {
+		e.state.BeginBlame()
+	}
 	d, err := e.alg.Handle(req)
 	if err != nil {
 		return router.Decision{}, fmt.Errorf("sim: request %d: %w", req.ID, err)
@@ -227,6 +250,9 @@ func (e *Engine) Admit(req workload.Request) (router.Decision, error) {
 		if lat, err := router.PlanLatencyMs(e.prov, req, d.Plan); err == nil {
 			e.totalLatency += lat
 		}
+		if e.hotEnabled {
+			e.hotSrcAccepted.Add(srcCellKey(req.Src), 1)
+		}
 	} else {
 		reason := classifyReason(d.Reason)
 		if e.rc.Obs != nil {
@@ -234,8 +260,37 @@ func (e *Engine) Admit(req workload.Request) (router.Decision, error) {
 		}
 		e.slotRejected++
 		e.res.Rejections[reason]++
+		if e.hotEnabled {
+			e.hotSrcRejected.Add(srcCellKey(req.Src), 1)
+			// AttributeRejection and these counters move in lockstep: the
+			// per-entity tracker and the matching aggregate counter are
+			// incremented for exactly the same rejections, so tracker
+			// totals reconcile against the counters with no slack.
+			congested, depleted := e.state.AttributeRejection(reason == "energy-infeasible")
+			if congested {
+				e.ctrRejCongested.Inc()
+			}
+			if depleted {
+				e.ctrRejDepleted.Inc()
+			}
+		}
 	}
 	return d, nil
+}
+
+// srcCellKey packs a request source endpoint (ground site or EO
+// satellite) into a top-K tracker key.
+func srcCellKey(src topology.Endpoint) uint64 {
+	return uint64(src.Kind)<<32 | uint64(uint32(src.Index))
+}
+
+// srcCellLabel renders a source-cell key as "site<N>" or "eo<N>".
+func srcCellLabel(key uint64) string {
+	idx := int(uint32(key))
+	if topology.EndpointKind(key>>32) == topology.EndpointSpace {
+		return fmt.Sprintf("eo%d", idx)
+	}
+	return fmt.Sprintf("site%d", idx)
 }
 
 // Finish closes the admission stream: trailing per-slot samples are

@@ -144,6 +144,13 @@ type RunConfig struct {
 	// runs with distinct registries never cross-count. Nil keeps every
 	// instrumented path on its no-op (allocation-free) branch.
 	Obs *obs.Registry
+	// HotspotK, when positive (and Obs is set), enables per-entity
+	// hot-spot attribution with K-entry trackers: congestion rejections
+	// per link, depletion rejections per battery, committed link
+	// utilization and battery depth-of-discharge, and accept/reject
+	// counts per source cell. Zero keeps every attribution site on its
+	// single-branch disabled path.
+	HotspotK int
 }
 
 // DefaultRunConfig returns the paper's settings for one algorithm.

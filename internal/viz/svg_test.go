@@ -81,6 +81,36 @@ func TestAntimeridianSplit(t *testing.T) {
 	}
 }
 
+// TestAntimeridianSegmentsKeepStyle renders a crossing link and checks
+// both half-segments carry the per-link colour and width, meet the map
+// edges at ±180°, and share the midpoint latitude.
+func TestAntimeridianSegmentsKeepStyle(t *testing.T) {
+	m := NewMap("")
+	m.AddLink(10, 170, 30, -170, "#ff8800", 2.5)
+	out := m.Render(nil)
+	if got := strings.Count(out, `stroke="#ff8800"`); got != 2 {
+		t.Fatalf("coloured segments = %d, want 2 in:\n%s", got, out)
+	}
+	if got := strings.Count(out, `stroke-width="2.50"`); got != 2 {
+		t.Fatalf("width-styled segments = %d, want 2 in:\n%s", got, out)
+	}
+	// East half ends at lon 180 (x=720), west half restarts at -180
+	// (x=0), both at the midpoint latitude 20 (y=140).
+	if !strings.Contains(out, `x2="720.0" y2="140.0"`) {
+		t.Errorf("east segment does not end at the +180 edge:\n%s", out)
+	}
+	if !strings.Contains(out, `x1="0.0" y1="140.0"`) {
+		t.Errorf("west segment does not restart at the -180 edge:\n%s", out)
+	}
+	// A non-crossing link keeps its style on the single segment.
+	m2 := NewMap("")
+	m2.AddLink(0, 10, 5, 20, "#00ffaa", 0.75)
+	out2 := m2.Render(nil)
+	if strings.Count(out2, `stroke="#00ffaa"`) != 1 || !strings.Contains(out2, `stroke-width="0.75"`) {
+		t.Fatalf("plain link lost its style:\n%s", out2)
+	}
+}
+
 func TestHeatRamp(t *testing.T) {
 	cold := HeatRamp(0)
 	hot := HeatRamp(1)

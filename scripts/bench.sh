@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the routing fast-path benchmark suite plus short
 # serving-layer load measurements, and emit a machine-readable
-# BENCH_6.json (schema documented in EXPERIMENTS.md).
+# BENCH_7.json (schema documented in EXPERIMENTS.md).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -14,22 +14,24 @@
 # The JSON is an array of objects, one per measurement, in run order.
 # Micro-benchmark rows are {name, ns_per_op, bytes_per_op,
 # allocs_per_op}; the serving rows are {name, req_per_sec, p50_ms,
-# p99_ms} — "SpaceloadClosedLoop" with tracing off and
-# "SpaceloadClosedLoopTraced" against spaced -trace-sample 1 with an
-# audit log, measuring the tracing overhead under full sampling. Only
-# benchmarks that report allocations produce complete rows; the script
-# passes -benchmem so every row is complete.
+# p99_ms} — "SpaceloadClosedLoop" with tracing and hot-spot tracking
+# off, "SpaceloadClosedLoopTraced" against spaced -trace-sample 1 with
+# an audit log (tracing overhead under full sampling), and
+# "SpaceloadClosedLoopHotspots" with top-32 hot-spot tracking on
+# (attribution overhead). Only benchmarks that report allocations
+# produce complete rows; the script passes -benchmem so every row is
+# complete.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 BENCHTIME="${BENCHTIME:-10x}"
 SERVE_DURATION="${SERVE_DURATION:-5s}"
 
 # Root-package micro-benchmarks: the production CEAR request path (flat
 # scratch-pooled search, its generic reference twin, and the
 # budget-pruned variant) plus the single-search kernels.
-ROOT_PATTERN='^(BenchmarkCEARHandle|BenchmarkCEARHandleGeneric|BenchmarkCEARHandlePruned|BenchmarkViewDijkstra|BenchmarkFlatViewSearch)$'
+ROOT_PATTERN='^(BenchmarkCEARHandle|BenchmarkCEARHandleGeneric|BenchmarkCEARHandlePruned|BenchmarkCEARHandleHotspots|BenchmarkViewDijkstra|BenchmarkFlatViewSearch)$'
 # Graph-package kernels: allocate-per-call vs scratch-reuse pairs.
 GRAPH_PATTERN='^(BenchmarkShortestPath|BenchmarkShortestPathScratch|BenchmarkHopLimited|BenchmarkHopLimitedScratch)$'
 
@@ -58,8 +60,10 @@ awk '
 # Serving-layer measurements: a small-scale spaced daemon at max clock
 # speed, hammered closed-loop by spaceload; the SUMMARY line carries
 # sustained throughput and client-observed admission latency. Runs
-# twice — tracing off, then tracing at sample rate 1 with an audit log
-# — so the traced row quantifies the full-sampling overhead.
+# three times — everything off (baseline), tracing at sample rate 1
+# with an audit log, and hot-spot tracking on — so each optional
+# observability layer's overhead is quantified against the same
+# baseline.
 serve_row() {
   local row_name="$1"; shift
   echo "== serving layer: spaced + spaceload closed loop, $row_name ($SERVE_DURATION) =="
@@ -95,8 +99,9 @@ serve_row() {
 if [[ "$SERVE_DURATION" != "0" ]]; then
   go build -o "$WORK/spaced" ./cmd/spaced
   go build -o "$WORK/spaceload" ./cmd/spaceload
-  serve_row SpaceloadClosedLoop
-  serve_row SpaceloadClosedLoopTraced -trace-sample 1.0 -audit-log "$WORK/audit.jsonl"
+  serve_row SpaceloadClosedLoop -hotspots=false
+  serve_row SpaceloadClosedLoopTraced -hotspots=false -trace-sample 1.0 -audit-log "$WORK/audit.jsonl"
+  serve_row SpaceloadClosedLoopHotspots -hotspots=true -hotspot-k 32
 fi
 
 {

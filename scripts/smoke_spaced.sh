@@ -2,8 +2,9 @@
 # smoke_spaced.sh — end-to-end serving smoke, the CI gate for the
 # booking daemon: build spaced and spaceload, start the daemon at small
 # scale, fire a short closed-loop burst, assert a non-zero accept count,
-# then verify a clean SIGTERM drain (daemon exits 0 and logs its drained
-# summary).
+# probe the hot-spot telemetry surface (/v1/hotspots,
+# /debug/constellation.json, /debug/map.svg), then verify a clean
+# SIGTERM drain (daemon exits 0 and logs its drained summary).
 #
 # Usage: scripts/smoke_spaced.sh
 set -euo pipefail
@@ -43,6 +44,20 @@ ACCEPTED="$(sed -n 's/.*accepted=\([0-9]*\).*/\1/p' <<<"$SUMMARY")"
 ERRORS="$(sed -n 's/.*errors=\([0-9]*\).*/\1/p' <<<"$SUMMARY")"
 [[ "${ACCEPTED:-0}" -gt 0 ]] || { echo "smoke_spaced: zero accepted bookings ($SUMMARY)" >&2; exit 1; }
 [[ "${ERRORS:-1}" -eq 0 ]] || { echo "smoke_spaced: client errors during burst ($SUMMARY)" >&2; exit 1; }
+
+# Hot-spot telemetry surface: the JSON endpoints must report tracking
+# enabled and the map must be a well-formed SVG document.
+HOTSPOTS="$(curl -fsS "http://$ADDR/v1/hotspots")"
+grep -q '"enabled": *true' <<<"$HOTSPOTS" || { echo "smoke_spaced: /v1/hotspots not enabled: $HOTSPOTS" >&2; exit 1; }
+grep -q '"links"' <<<"$HOTSPOTS" || { echo "smoke_spaced: /v1/hotspots missing links tracker" >&2; exit 1; }
+
+CONSTELLATION="$(curl -fsS "http://$ADDR/debug/constellation.json")"
+grep -q '"satellites"' <<<"$CONSTELLATION" || { echo "smoke_spaced: /debug/constellation.json missing satellites" >&2; exit 1; }
+
+MAPSVG="$(curl -fsS "http://$ADDR/debug/map.svg")"
+grep -q '<svg' <<<"$MAPSVG" || { echo "smoke_spaced: /debug/map.svg is not SVG" >&2; exit 1; }
+grep -q '</svg>' <<<"$MAPSVG" || { echo "smoke_spaced: /debug/map.svg is truncated" >&2; exit 1; }
+echo "smoke_spaced: hot-spot endpoints OK"
 
 # Graceful drain: SIGTERM must produce an exit-0 daemon that logged the
 # drained summary.
