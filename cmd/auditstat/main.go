@@ -5,13 +5,17 @@
 // interleaved line fails the run, which is what makes it useful as the
 // CI gate behind `make trace-smoke` — then prints per-outcome counts,
 // sampling coverage, and a per-phase duration table aggregated over the
-// sampled records.
+// sampled records. With -by shard it adds a per-shard breakdown
+// (records, outcomes, cross-shard count) for logs written by a sharded
+// daemon; without the flag the output is unchanged, and logs without
+// shard fields aggregate under shard 0.
 //
 // Usage:
 //
 //	auditstat audit.jsonl
-//	auditstat -min 1 audit.jsonl   # fail unless at least 1 record
-//	auditstat -json audit.jsonl    # machine-readable summary
+//	auditstat -min 1 audit.jsonl       # fail unless at least 1 record
+//	auditstat -json audit.jsonl       # machine-readable summary
+//	auditstat -by shard audit.jsonl   # per-shard breakdown
 //	cat audit.jsonl | auditstat -
 package main
 
@@ -35,14 +39,19 @@ func main() {
 func run() int {
 	minRecords := flag.Int("min", 1, "fail unless the log holds at least this many records")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON (same content as the human output)")
+	by := flag.String("by", "", "extra breakdown dimension; only \"shard\" is supported")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(buildinfo.Line("auditstat"))
 		return 0
 	}
+	if *by != "" && *by != "shard" {
+		fmt.Fprintf(os.Stderr, "auditstat: -by %q not supported (want shard)\n", *by)
+		return 2
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: auditstat [-min N] [-json] <audit.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: auditstat [-min N] [-json] [-by shard] <audit.jsonl | ->")
 		return 2
 	}
 
@@ -60,8 +69,36 @@ func run() int {
 		name = "stdin"
 	}
 
+	sum, err := summarize(name, in, *by == "shard")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "auditstat: %v\n", err)
+		return 1
+	}
+	if sum.Records < *minRecords {
+		fmt.Fprintf(os.Stderr, "auditstat: %s: %d records, need at least %d\n", name, sum.Records, *minRecords)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "auditstat: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	printHuman(os.Stdout, sum)
+	return 0
+}
+
+// summarize aggregates one audit stream. byShard additionally buckets
+// records by their shard field (absent fields — pre-cluster logs and
+// single-shard daemons — land on shard 0).
+func summarize(name string, in io.Reader, byShard bool) (*summary, error) {
 	outcomes := map[string]int{}
 	phases := map[string]*phaseAgg{}
+	shards := map[int]*shardAgg{}
 	var order []string
 	records, sampled, lineNo := 0, 0, 0
 
@@ -75,15 +112,25 @@ func run() int {
 		}
 		var rec server.AuditRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			fmt.Fprintf(os.Stderr, "auditstat: %s:%d: invalid record: %v\n", name, lineNo, err)
-			return 1
+			return nil, fmt.Errorf("%s:%d: invalid record: %v", name, lineNo, err)
 		}
 		if rec.Outcome == "" {
-			fmt.Fprintf(os.Stderr, "auditstat: %s:%d: record without outcome\n", name, lineNo)
-			return 1
+			return nil, fmt.Errorf("%s:%d: record without outcome", name, lineNo)
 		}
 		records++
 		outcomes[rec.Outcome]++
+		if byShard {
+			sa := shards[rec.Shard]
+			if sa == nil {
+				sa = &shardAgg{outcomes: map[string]int{}}
+				shards[rec.Shard] = sa
+			}
+			sa.records++
+			sa.outcomes[rec.Outcome]++
+			if rec.CrossShard {
+				sa.cross++
+			}
+		}
 		if !rec.Sampled {
 			continue
 		}
@@ -99,59 +146,72 @@ func run() int {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "auditstat: reading %s: %v\n", name, err)
-		return 1
-	}
-	if records < *minRecords {
-		fmt.Fprintf(os.Stderr, "auditstat: %s: %d records, need at least %d\n", name, records, *minRecords)
-		return 1
+		return nil, fmt.Errorf("reading %s: %v", name, err)
 	}
 
 	sort.Slice(order, func(i, j int) bool { return phases[order[i]].totalNs > phases[order[j]].totalNs })
 
-	if *jsonOut {
-		sum := summary{
-			Source:   name,
-			Records:  records,
-			Sampled:  sampled,
-			Outcomes: outcomes,
+	sum := &summary{
+		Source:   name,
+		Records:  records,
+		Sampled:  sampled,
+		Outcomes: outcomes,
+	}
+	for _, nameKey := range order {
+		a := phases[nameKey]
+		sum.Phases = append(sum.Phases, phaseSummary{
+			Name:   nameKey,
+			MeanMs: a.meanMs(),
+			MaxMs:  float64(a.maxNs) / 1e6,
+			Spans:  a.count,
+		})
+	}
+	if byShard {
+		ids := make([]int, 0, len(shards))
+		for id := range shards {
+			ids = append(ids, id)
 		}
-		for _, nameKey := range order {
-			a := phases[nameKey]
-			sum.Phases = append(sum.Phases, phaseSummary{
-				Name:   nameKey,
-				MeanMs: a.meanMs(),
-				MaxMs:  float64(a.maxNs) / 1e6,
-				Spans:  a.count,
+		sort.Ints(ids)
+		for _, id := range ids {
+			sa := shards[id]
+			sum.Shards = append(sum.Shards, shardSummary{
+				Shard:      id,
+				Records:    sa.records,
+				Outcomes:   sa.outcomes,
+				CrossShard: sa.cross,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(sum); err != nil {
-			fmt.Fprintf(os.Stderr, "auditstat: %v\n", err)
-			return 1
-		}
-		return 0
 	}
+	return sum, nil
+}
 
-	fmt.Printf("%s: %d records, %d sampled\n", name, records, sampled)
-	keys := make([]string, 0, len(outcomes))
-	for k := range outcomes {
+// printHuman renders the summary. The layout without -by shard is
+// frozen: the shard table only appends when the breakdown was requested.
+func printHuman(w io.Writer, sum *summary) {
+	fmt.Fprintf(w, "%s: %d records, %d sampled\n", sum.Source, sum.Records, sum.Sampled)
+	keys := make([]string, 0, len(sum.Outcomes))
+	for k := range sum.Outcomes {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("  %-12s %d\n", k, outcomes[k])
+		fmt.Fprintf(w, "  %-12s %d\n", k, sum.Outcomes[k])
 	}
-	if len(order) > 0 {
-		fmt.Printf("phases (over sampled records):\n")
-		fmt.Printf("  %-16s %10s %10s %8s\n", "phase", "mean_ms", "max_ms", "spans")
-		for _, nameKey := range order {
-			a := phases[nameKey]
-			fmt.Printf("  %-16s %10.3f %10.3f %8d\n", nameKey, a.meanMs(), float64(a.maxNs)/1e6, a.count)
+	if len(sum.Phases) > 0 {
+		fmt.Fprintf(w, "phases (over sampled records):\n")
+		fmt.Fprintf(w, "  %-16s %10s %10s %8s\n", "phase", "mean_ms", "max_ms", "spans")
+		for _, p := range sum.Phases {
+			fmt.Fprintf(w, "  %-16s %10.3f %10.3f %8d\n", p.Name, p.MeanMs, p.MaxMs, p.Spans)
 		}
 	}
-	return 0
+	if len(sum.Shards) > 0 {
+		fmt.Fprintf(w, "by shard:\n")
+		fmt.Fprintf(w, "  %-6s %8s %9s %9s %12s\n", "shard", "records", "accepted", "rejected", "cross_shard")
+		for _, sh := range sum.Shards {
+			fmt.Fprintf(w, "  %-6d %8d %9d %9d %12d\n",
+				sh.Shard, sh.Records, sh.Outcomes[server.StatusAccepted], sh.Outcomes[server.StatusRejected], sh.CrossShard)
+		}
+	}
 }
 
 // summary is the -json output: the same content as the human summary,
@@ -162,6 +222,7 @@ type summary struct {
 	Sampled  int            `json:"sampled"`
 	Outcomes map[string]int `json:"outcomes"`
 	Phases   []phaseSummary `json:"phases,omitempty"`
+	Shards   []shardSummary `json:"shards,omitempty"`
 }
 
 type phaseSummary struct {
@@ -169,6 +230,20 @@ type phaseSummary struct {
 	MeanMs float64 `json:"mean_ms"`
 	MaxMs  float64 `json:"max_ms"`
 	Spans  int64   `json:"spans"`
+}
+
+// shardSummary is one shard's row of the -by shard breakdown.
+type shardSummary struct {
+	Shard      int            `json:"shard"`
+	Records    int            `json:"records"`
+	Outcomes   map[string]int `json:"outcomes"`
+	CrossShard int            `json:"cross_shard"`
+}
+
+type shardAgg struct {
+	records  int
+	outcomes map[string]int
+	cross    int
 }
 
 type phaseAgg struct {

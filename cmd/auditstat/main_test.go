@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `{"id":1,"ts_unix_ns":1,"outcome":"accepted","arrival_slot":0,"start_slot":0,"end_slot":0,"searches":1,"pruned_labels":0,"heap_pops":3,"deficit_walks":1,"total_ns":1000,"sampled":false}
+{"id":2,"ts_unix_ns":2,"outcome":"rejected","reason":"priced-out","arrival_slot":0,"start_slot":0,"end_slot":0,"searches":1,"pruned_labels":0,"heap_pops":3,"deficit_walks":1,"total_ns":2000,"sampled":true,"phases":[{"name":"queue.wait","start_ns":0,"end_ns":500}]}
+{"id":3,"ts_unix_ns":3,"outcome":"accepted","shard":1,"cross_shard":true,"arrival_slot":1,"start_slot":1,"end_slot":1,"searches":1,"pruned_labels":0,"heap_pops":3,"deficit_walks":1,"total_ns":1500,"sampled":false}
+`
+
+func TestSummarizeWithoutShardBreakdown(t *testing.T) {
+	sum, err := summarize("test", strings.NewReader(sampleLog), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 3 || sum.Sampled != 1 {
+		t.Fatalf("records=%d sampled=%d, want 3/1", sum.Records, sum.Sampled)
+	}
+	if sum.Outcomes["accepted"] != 2 || sum.Outcomes["rejected"] != 1 {
+		t.Fatalf("outcomes = %v", sum.Outcomes)
+	}
+	if sum.Shards != nil {
+		t.Fatalf("shard breakdown present without -by shard: %v", sum.Shards)
+	}
+	// The default human output must not change when shard fields appear
+	// in the log: no shard table, and nothing shard-specific above it.
+	var b strings.Builder
+	printHuman(&b, sum)
+	if strings.Contains(b.String(), "shard") {
+		t.Fatalf("default output mentions shards:\n%s", b.String())
+	}
+}
+
+func TestSummarizeByShard(t *testing.T) {
+	sum, err := summarize("test", strings.NewReader(sampleLog), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Shards) != 2 {
+		t.Fatalf("shard rows = %d, want 2", len(sum.Shards))
+	}
+	// Records without a shard field (pre-cluster logs) land on shard 0.
+	s0, s1 := sum.Shards[0], sum.Shards[1]
+	if s0.Shard != 0 || s0.Records != 2 || s0.CrossShard != 0 {
+		t.Fatalf("shard 0 row = %+v", s0)
+	}
+	if s1.Shard != 1 || s1.Records != 1 || s1.CrossShard != 1 {
+		t.Fatalf("shard 1 row = %+v", s1)
+	}
+	if s1.Outcomes["accepted"] != 1 {
+		t.Fatalf("shard 1 outcomes = %v", s1.Outcomes)
+	}
+	var b strings.Builder
+	printHuman(&b, sum)
+	if !strings.Contains(b.String(), "by shard:") {
+		t.Fatalf("missing shard table:\n%s", b.String())
+	}
+}
+
+func TestSummarizeRejectsBadRecords(t *testing.T) {
+	if _, err := summarize("test", strings.NewReader("{\"id\":1}\n"), false); err == nil {
+		t.Fatal("record without outcome accepted")
+	}
+	if _, err := summarize("test", strings.NewReader("not json\n"), false); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}

@@ -323,6 +323,10 @@ func (b *Baseline) Handle(req workload.Request) (router.Decision, error) {
 		}
 	}
 
-	txn.Commit()
+	if err := txn.Commit(); err != nil {
+		return router.Decision{
+			Reason: fmt.Sprintf("cross-shard conflict: %v", err),
+		}, nil
+	}
 	return router.Decision{Accepted: true, Plan: plan}, nil
 }

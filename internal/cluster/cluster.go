@@ -1,0 +1,695 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/obs"
+	"spacebooking/internal/sim"
+	"spacebooking/internal/topology"
+)
+
+// Route outcomes the serving layer maps to HTTP statuses.
+var (
+	// ErrShardOverloaded is returned by Route when the target shard's
+	// token bucket is dry (HTTP 429, reason "overloaded_shard").
+	ErrShardOverloaded = errors.New("cluster: shard token bucket exhausted")
+	// ErrQueueFull is returned by Submit when the shard's ingress queue
+	// is full.
+	ErrQueueFull = errors.New("cluster: shard queue full")
+	// ErrIntakeClosed is returned by Submit after CloseIntake.
+	ErrIntakeClosed = errors.New("cluster: intake closed")
+)
+
+// Config parameterises a shard cluster.
+type Config struct {
+	// Shards is the engine count; 1 (the default) is a passthrough
+	// single-engine cluster, byte-identical to a bare sim.Engine.
+	Shards int
+	// Policy selects the routing policy.
+	Policy Policy
+	// Run is the engine configuration. Shard 0 keeps Run.Obs (and its
+	// trace stream), so a single-shard cluster observes exactly like a
+	// bare engine; higher shards run private registries and no engine
+	// trace stream.
+	Run sim.RunConfig
+	// QueueDepth bounds each shard's ingress queue. Default 256.
+	QueueDepth int
+	// BatchSize caps how many queued items one shard pass runs
+	// back-to-back. Default 32.
+	BatchSize int
+	// TokenRate/TokenBurst configure the per-shard token-bucket
+	// admission (requests per second; burst defaults to the rate).
+	// Zero rate disables the bucket.
+	TokenRate  float64
+	TokenBurst float64
+	// Now is the wall clock for the token buckets. Default time.Now.
+	Now func() time.Time
+	// RunBatch is the per-shard work loop body: called on the shard's
+	// goroutine with 1..BatchSize submitted items. It must drive
+	// admissions through sh.Engine() only — that is the single-writer
+	// contract the shard loop guarantees.
+	RunBatch func(sh *Shard, items []any)
+	// TestGate, when non-nil, stalls every shard loop before each batch
+	// until a value (or close) arrives — deterministic drain and
+	// backpressure tests only.
+	TestGate chan struct{}
+}
+
+// Cluster is a set of shard engines behind a routing front end.
+type Cluster struct {
+	cfg  Config
+	prov *topology.Provider
+	part *Partition
+
+	shards []*Shard
+	rr     atomic.Uint64
+	// nextCoord issues cluster-wide two-phase coordination ids.
+	nextCoord atomic.Uint64
+
+	// Cluster-wide counters in the main (shard 0) registry; nil-safe.
+	ctrPrepared  *obs.Counter
+	ctrCommitted *obs.Counter
+	ctrAborted   *obs.Counter
+	ctrCross     *obs.Counter
+	// Anti-entropy: committed deltas broadcast to non-owner shards so
+	// their optimistic views of foreign resources converge on reality
+	// (best-effort; a full observe queue or a conflicting view drops
+	// the update rather than blocking an admission).
+	ctrObserved     *obs.Counter
+	ctrObsDropped   *obs.Counter
+	observeCapacity int
+
+	// phase1 counts shard loops still consuming their ingress queue;
+	// when the last one drains, allDrained releases every loop from its
+	// remote-op serving phase, and done closes once all loops exit.
+	phase1     sync.WaitGroup
+	loopWG     sync.WaitGroup
+	allDrained chan struct{}
+	done       chan struct{}
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// Shard is one single-writer engine loop plus its ingress and
+// remote-operation queues. All engine/state access happens on the
+// shard's goroutine (directly, or via remote ops other shards send).
+type Shard struct {
+	c     *Cluster
+	id    int
+	eng   *sim.Engine
+	state *netstate.State
+	reg   *obs.Registry
+
+	in     chan any
+	remote chan func()
+	// observe receives committed deltas from peer shards (anti-entropy;
+	// see Cluster.ctrObserved). Fire-and-forget: senders never block on
+	// it, the shard loop drains it between batches.
+	observe chan *fullDelta
+	// pending holds remotely-prepared reservations by coordination id,
+	// touched only on this shard's goroutine.
+	pending map[uint64]*netstate.Prepared
+
+	// Coordination scratch (shard-goroutine only).
+	parts      []remoteDelta
+	prepOrder  []int
+	lastCross  bool
+	obsConsBuf []netstate.Consumption
+
+	// Stats (atomics: read by /v1/stats from handler goroutines).
+	statSubmitted atomic.Int64
+	statAccepted  atomic.Int64
+	statRejected  atomic.Int64
+	statPrepared  atomic.Int64
+	statCommitted atomic.Int64
+	statAborted   atomic.Int64
+	statCross     atomic.Int64
+	statTokenShed atomic.Int64
+
+	// Per-shard counters in the main registry (nil-safe).
+	ctrPrepared  *obs.Counter
+	ctrCommitted *obs.Counter
+	ctrAborted   *obs.Counter
+	ctrCross     *obs.Counter
+
+	tokens *tokenBucket
+}
+
+// remoteDelta is the slice of a prepared transaction owned by one
+// remote shard: the link reservations and energy consumptions to pin
+// on that shard's authoritative ledgers.
+type remoteDelta struct {
+	links []remoteLink
+	cons  []netstate.Consumption
+}
+
+type remoteLink struct {
+	key  netstate.LinkKey
+	slot int
+	rate float64
+}
+
+// fullDelta is a committed booking's complete pinned delta, broadcast
+// to peer shards after commit so their optimistic views of resources
+// they don't own track what actually got booked (without it, a shard's
+// view of foreign links/batteries stays near-empty, prices stay low,
+// and the budget-pruned search stops pruning — admission cost then
+// grows with the shard count instead of staying flat). Receivers treat
+// it as read-only.
+type fullDelta struct {
+	links []remoteLink
+	cons  []netstate.Consumption
+}
+
+// New builds the partition and the shard engines. Loops do not run
+// until Start.
+func New(prov *topology.Provider, cfg Config) (*Cluster, error) {
+	if prov == nil {
+		return nil, fmt.Errorf("cluster: nil provider")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d must be positive", cfg.Shards)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.RunBatch == nil {
+		return nil, fmt.Errorf("cluster: nil RunBatch")
+	}
+	part, err := NewPartition(prov, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		prov:       prov,
+		part:       part,
+		allDrained: make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	mainReg := cfg.Run.Obs
+	c.ctrPrepared = mainReg.Counter("cluster.prepared.total")
+	c.ctrCommitted = mainReg.Counter("cluster.committed.total")
+	c.ctrAborted = mainReg.Counter("cluster.aborted.total")
+	c.ctrCross = mainReg.Counter("cluster.cross_shard.total")
+	c.ctrObserved = mainReg.Counter("cluster.observed.total")
+	c.ctrObsDropped = mainReg.Counter("cluster.observe_dropped.total")
+	c.observeCapacity = cfg.QueueDepth
+
+	now := cfg.Now()
+	for i := 0; i < cfg.Shards; i++ {
+		rc := cfg.Run
+		if i > 0 {
+			// Private registry, no shared trace stream, no shared search
+			// scratch: everything a shard engine writes concurrently with
+			// its peers must be its own.
+			rc.Obs = obs.New()
+			rc.Trace = nil
+			rc.Scratch = nil
+		}
+		eng, err := sim.NewEngine(prov, rc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d engine: %w", i, err)
+		}
+		sh := &Shard{
+			c:       c,
+			id:      i,
+			eng:     eng,
+			state:   eng.State(),
+			reg:     rc.Obs,
+			in:      make(chan any, cfg.QueueDepth),
+			remote:  make(chan func(), cfg.Shards+1),
+			observe: make(chan *fullDelta, c.observeCapacity),
+			pending: make(map[uint64]*netstate.Prepared),
+			parts:   make([]remoteDelta, cfg.Shards),
+			tokens:  newTokenBucket(cfg.TokenRate, cfg.TokenBurst, now),
+		}
+		sh.ctrPrepared = mainReg.Counter(fmt.Sprintf("cluster.shard%d.prepared", i))
+		sh.ctrCommitted = mainReg.Counter(fmt.Sprintf("cluster.shard%d.committed", i))
+		sh.ctrAborted = mainReg.Counter(fmt.Sprintf("cluster.shard%d.aborted", i))
+		sh.ctrCross = mainReg.Counter(fmt.Sprintf("cluster.shard%d.cross_shard", i))
+		c.shards = append(c.shards, sh)
+	}
+	if cfg.Shards > 1 {
+		// The two-phase protocol only exists with someone to coordinate
+		// with; a single-shard cluster keeps the bit-identical
+		// single-phase commit path.
+		for _, sh := range c.shards {
+			sh := sh
+			sh.state.SetCommitInterceptor(sh.intercept)
+		}
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return c.cfg.Shards }
+
+// Shard returns shard i.
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Partition returns the resource-ownership map.
+func (c *Cluster) Partition() *Partition { return c.part }
+
+// Algorithm returns the engines' algorithm display name.
+func (c *Cluster) Algorithm() string { return c.shards[0].eng.Algorithm() }
+
+// QueuedTotal returns the summed ingress-queue depth across shards.
+func (c *Cluster) QueuedTotal() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.in)
+	}
+	return n
+}
+
+// Start launches the shard loops and the drain watcher.
+func (c *Cluster) Start() {
+	c.phase1.Add(len(c.shards))
+	c.loopWG.Add(len(c.shards))
+	for _, sh := range c.shards {
+		go sh.loop()
+	}
+	go func() {
+		c.phase1.Wait()
+		close(c.allDrained)
+		c.loopWG.Wait()
+		close(c.done)
+	}()
+}
+
+// Route picks the target shard for a booking per the configured policy
+// and charges its token bucket. ErrShardOverloaded means the caller
+// should shed with reason "overloaded_shard".
+func (c *Cluster) Route(src topology.Endpoint) (*Shard, error) {
+	var sh *Shard
+	switch {
+	case len(c.shards) == 1:
+		sh = c.shards[0]
+	case c.cfg.Policy == LeastLoaded:
+		sh = c.shards[0]
+		best := len(sh.in)
+		for _, cand := range c.shards[1:] {
+			if d := len(cand.in); d < best {
+				sh, best = cand, d
+			}
+		}
+	case c.cfg.Policy == Affinity:
+		sh = c.shards[c.part.Affinity(src)]
+	default:
+		sh = c.shards[int(c.rr.Add(1)-1)%len(c.shards)]
+	}
+	if !sh.tokens.allow(c.cfg.Now()) {
+		sh.statTokenShed.Add(1)
+		return nil, ErrShardOverloaded
+	}
+	return sh, nil
+}
+
+// CloseIntake stops accepting submissions and lets the shard loops
+// drain. Safe to call more than once; the caller must serialise it
+// against Submit (the serving layer's lifecycle lock does).
+func (c *Cluster) CloseIntake() {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		for _, sh := range c.shards {
+			close(sh.in)
+		}
+	})
+}
+
+// Done is closed when every shard loop has drained and exited; only
+// then may Finish run.
+func (c *Cluster) Done() <-chan struct{} { return c.done }
+
+// ID returns the shard's index.
+func (sh *Shard) ID() int { return sh.id }
+
+// Engine returns the shard's engine. Only the shard goroutine (inside
+// RunBatch) may call its admission methods.
+func (sh *Shard) Engine() *sim.Engine { return sh.eng }
+
+// Registry returns the shard's obs registry (the main registry for
+// shard 0, a private one otherwise).
+func (sh *Shard) Registry() *obs.Registry { return sh.reg }
+
+// Depth returns the shard's current ingress-queue depth.
+func (sh *Shard) Depth() int { return len(sh.in) }
+
+// Submit enqueues one item for the shard loop without blocking.
+func (sh *Shard) Submit(item any) error {
+	if sh.c.closed.Load() {
+		return ErrIntakeClosed
+	}
+	select {
+	case sh.in <- item:
+		sh.statSubmitted.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// NoteDecision records an admission outcome for the shard's stats.
+func (sh *Shard) NoteDecision(accepted bool) {
+	if accepted {
+		sh.statAccepted.Add(1)
+	} else {
+		sh.statRejected.Add(1)
+	}
+}
+
+// TakeCrossShard reports — and clears — whether the most recent
+// admission on this shard ran the cross-shard protocol. Shard
+// goroutine only, immediately after the Admit that may have set it.
+func (sh *Shard) TakeCrossShard() bool {
+	v := sh.lastCross
+	sh.lastCross = false
+	return v
+}
+
+// loop is the shard's single writer. Phase 1 batches ingress items
+// through RunBatch, servicing remote two-phase operations between
+// batches; once the ingress queue closes and drains, the loop keeps
+// serving remote operations until every shard has drained (a peer's
+// last coordinations may still need this shard's ledgers), then exits.
+func (sh *Shard) loop() {
+	c := sh.c
+	defer c.loopWG.Done()
+	phase1Done := false
+	markDrained := func() {
+		if !phase1Done {
+			phase1Done = true
+			c.phase1.Done()
+		}
+	}
+	batch := make([]any, 0, c.cfg.BatchSize)
+	for !phase1Done {
+		select {
+		case op := <-sh.remote:
+			op()
+		case d := <-sh.observe:
+			sh.applyObserved(d)
+		case item, ok := <-sh.in:
+			if !ok {
+				markDrained()
+				break
+			}
+			if c.cfg.TestGate != nil {
+				<-c.cfg.TestGate
+			}
+			batch = append(batch[:0], item)
+		collect:
+			for len(batch) < c.cfg.BatchSize {
+				select {
+				case more, ok2 := <-sh.in:
+					if !ok2 {
+						markDrained()
+						break collect
+					}
+					batch = append(batch, more)
+				default:
+					break collect
+				}
+			}
+			c.cfg.RunBatch(sh, batch)
+		}
+	}
+	for {
+		select {
+		case op := <-sh.remote:
+			op()
+		case d := <-sh.observe:
+			sh.applyObserved(d)
+		case <-c.allDrained:
+			// No coordinator can be in flight once every shard finished
+			// phase 1 (remote calls are awaited inside RunBatch), but
+			// drain any raced-in op before exiting.
+			for {
+				select {
+				case op := <-sh.remote:
+					op()
+				case d := <-sh.observe:
+					sh.applyObserved(d)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// intercept is the commit interceptor installed on every shard state
+// when Shards > 1: it receives the home shard's Prepared, splits its
+// deltas by resource owner, and runs the two-phase protocol against
+// the remote owners in ascending shard order. Runs on the home shard's
+// goroutine, inside Admit.
+func (sh *Shard) intercept(p *netstate.Prepared) error {
+	c := sh.c
+	sh.notePrepare(sh)
+
+	// Split the pinned deltas by owner. The home state already holds
+	// all of them (it is an optimistic full-constellation view); only
+	// remote-owned slices are re-pinned on their authoritative shards.
+	cross := false
+	for i := range sh.parts {
+		sh.parts[i].links = sh.parts[i].links[:0]
+		sh.parts[i].cons = sh.parts[i].cons[:0]
+	}
+	p.EachLink(func(key netstate.LinkKey, slot int, rate float64) {
+		if owner := c.part.LinkOwner(key); owner != sh.id {
+			cross = true
+			sh.parts[owner].links = append(sh.parts[owner].links, remoteLink{key: key, slot: slot, rate: rate})
+		}
+	})
+	p.EachConsumption(func(cn netstate.Consumption) {
+		if owner := c.part.SatOwner(cn.Sat); owner != sh.id {
+			cross = true
+			sh.parts[owner].cons = append(sh.parts[owner].cons, cn)
+		}
+	})
+	if !cross {
+		full := sh.captureDelta(p)
+		p.Commit()
+		sh.noteCommit(sh)
+		sh.broadcast(full)
+		return nil
+	}
+
+	sh.lastCross = true
+	sh.statCross.Add(1)
+	sh.ctrCross.Inc()
+	c.ctrCross.Inc()
+	cid := c.nextCoord.Add(1)
+
+	// Prepare on every owning shard in ascending id order — the
+	// deterministic lock order that keeps concurrent cross-shard
+	// coordinations deadlock-free — aborting everything on the first
+	// conflict.
+	sh.prepOrder = sh.prepOrder[:0]
+	for owner := 0; owner < len(c.shards); owner++ {
+		d := &sh.parts[owner]
+		if owner == sh.id || (len(d.links) == 0 && len(d.cons) == 0) {
+			continue
+		}
+		err := sh.callRemote(owner, func(t *Shard) error { return t.prepareRemote(cid, d) })
+		if err != nil {
+			for _, done := range sh.prepOrder {
+				sh.callRemote(done, func(t *Shard) error { t.finishRemote(cid, false); return nil })
+			}
+			p.Abort()
+			sh.noteAbort(sh)
+			return fmt.Errorf("shard %d rejected prepare: %v", owner, err)
+		}
+		sh.prepOrder = append(sh.prepOrder, owner)
+	}
+
+	// All owners pinned: commit everywhere, home last.
+	for _, done := range sh.prepOrder {
+		sh.callRemote(done, func(t *Shard) error { t.finishRemote(cid, true); return nil })
+	}
+	full := sh.captureDelta(p)
+	p.Commit()
+	sh.noteCommit(sh)
+	sh.broadcast(full)
+	return nil
+}
+
+// captureDelta copies a Prepared's complete pinned delta before Commit
+// invalidates it, for the post-commit anti-entropy broadcast.
+func (sh *Shard) captureDelta(p *netstate.Prepared) *fullDelta {
+	if len(sh.c.shards) == 1 {
+		return nil
+	}
+	d := &fullDelta{}
+	p.EachLink(func(key netstate.LinkKey, slot int, rate float64) {
+		d.links = append(d.links, remoteLink{key: key, slot: slot, rate: rate})
+	})
+	p.EachConsumption(func(cn netstate.Consumption) {
+		d.cons = append(d.cons, cn)
+	})
+	return d
+}
+
+// broadcast fans a committed delta out to every peer shard,
+// fire-and-forget: a peer whose observe queue is full misses this
+// update (its view just stays a little staler — the next one may
+// land). Never blocks, so it cannot deadlock with coordinations.
+func (sh *Shard) broadcast(d *fullDelta) {
+	if d == nil || (len(d.links) == 0 && len(d.cons) == 0) {
+		return
+	}
+	for _, t := range sh.c.shards {
+		if t == sh {
+			continue
+		}
+		select {
+		case t.observe <- d:
+		default:
+			sh.c.ctrObsDropped.Inc()
+		}
+	}
+}
+
+// applyObserved folds a peer's committed delta into this shard's
+// optimistic view of the resources it does not own (the authoritative
+// owned slices were already pinned through the two-phase protocol).
+// The whole delta applies atomically or not at all: a conflict with
+// this shard's own bookings drops the update — the views are
+// best-effort by design, and over-optimism is what admission's
+// prepare-time conflict check guards against. Runs on the shard
+// goroutine. Prepare+Commit (rather than Txn.Commit) keeps the apply
+// off the commit interceptor, which would loop the broadcast.
+func (t *Shard) applyObserved(d *fullDelta) {
+	c := t.c
+	txn := t.state.Begin()
+	for _, l := range d.links {
+		if c.part.LinkOwner(l.key) == t.id {
+			continue
+		}
+		if err := txn.ReserveLinkKey(l.key, l.slot, l.rate); err != nil {
+			txn.Rollback()
+			c.ctrObsDropped.Inc()
+			return
+		}
+	}
+	foreign := t.obsConsBuf[:0]
+	for _, cn := range d.cons {
+		if c.part.SatOwner(cn.Sat) != t.id {
+			foreign = append(foreign, cn)
+		}
+	}
+	t.obsConsBuf = foreign[:0]
+	if err := txn.Consume(foreign); err != nil {
+		txn.Rollback()
+		c.ctrObsDropped.Inc()
+		return
+	}
+	p, err := txn.Prepare()
+	if err != nil {
+		txn.Rollback()
+		c.ctrObsDropped.Inc()
+		return
+	}
+	p.Commit()
+	c.ctrObserved.Inc()
+}
+
+// callRemote runs op on the target shard's goroutine and waits for its
+// result, servicing this shard's own remote queue while blocked — two
+// coordinating shards therefore make progress against each other
+// instead of deadlocking. The remote channels are buffered to the
+// shard count (each coordinator has at most one operation in flight),
+// so the send below never blocks.
+func (sh *Shard) callRemote(target int, op func(t *Shard) error) error {
+	t := sh.c.shards[target]
+	done := make(chan error, 1)
+	t.remote <- func() { done <- op(t) }
+	for {
+		select {
+		case err := <-done:
+			return err
+		case rop := <-sh.remote:
+			rop()
+		case d := <-sh.observe:
+			sh.applyObserved(d)
+		}
+	}
+}
+
+// prepareRemote pins a coordinator's deltas on this (owning) shard's
+// authoritative ledgers: reserve the links, apply the consumptions,
+// and hold the result in the prepare ledger under the coordination id.
+// Any over-subscription or infeasibility is the conflict that aborts
+// the whole booking. Runs on this shard's goroutine via callRemote.
+func (t *Shard) prepareRemote(cid uint64, d *remoteDelta) error {
+	txn := t.state.Begin()
+	for _, l := range d.links {
+		if err := txn.ReserveLinkKey(l.key, l.slot, l.rate); err != nil {
+			txn.Rollback()
+			return err
+		}
+	}
+	if err := txn.Consume(d.cons); err != nil {
+		txn.Rollback()
+		return err
+	}
+	p, err := txn.Prepare()
+	if err != nil {
+		txn.Rollback()
+		return err
+	}
+	t.pending[cid] = p
+	t.notePrepare(t)
+	return nil
+}
+
+// finishRemote settles a remotely-prepared reservation. Runs on the
+// owning shard's goroutine via callRemote.
+func (t *Shard) finishRemote(cid uint64, commit bool) {
+	p := t.pending[cid]
+	if p == nil {
+		return
+	}
+	delete(t.pending, cid)
+	if commit {
+		p.Commit()
+		t.noteCommit(t)
+	} else {
+		p.Abort()
+		t.noteAbort(t)
+	}
+}
+
+func (sh *Shard) notePrepare(on *Shard) {
+	on.statPrepared.Add(1)
+	on.ctrPrepared.Inc()
+	on.c.ctrPrepared.Inc()
+}
+
+func (sh *Shard) noteCommit(on *Shard) {
+	on.statCommitted.Add(1)
+	on.ctrCommitted.Inc()
+	on.c.ctrCommitted.Inc()
+}
+
+func (sh *Shard) noteAbort(on *Shard) {
+	on.statAborted.Add(1)
+	on.ctrAborted.Inc()
+	on.c.ctrAborted.Inc()
+}

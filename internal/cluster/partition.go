@@ -1,0 +1,134 @@
+// Package cluster shards the admission engine: N single-writer shard
+// loops, each over its own full-constellation netstate.State, behind a
+// router with pluggable policies. Resources (links, batteries) are
+// partitioned by orbital plane; a shard's state is authoritative for
+// the resources it owns and an optimistic local view for the rest.
+// Bookings whose plans touch only owned resources commit locally;
+// anything else runs the two-phase prepare/commit protocol against
+// every owning shard, in ascending shard order, aborting on conflict.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/orbit"
+	"spacebooking/internal/topology"
+)
+
+// Partition maps satellites (and hence links and batteries) to owning
+// shards. Ownership is by contiguous orbital-plane ranges: satellites
+// of one plane share ISL fabric and sweep the same ground track, so
+// plane-local traffic stays shard-local — the LEO-geometry
+// decomposition argued for in the related distributed-routing work.
+type Partition struct {
+	shards   int
+	numSats  int
+	satOwner []int32
+	// Per-endpoint affinity shard, precomputed from longitude (ground
+	// sites) or fleet index (EO satellites) so routing is a pure lookup.
+	siteShard []int32
+	eoShard   []int32
+}
+
+// NewPartition assigns every satellite of every shell to one of n
+// shards by contiguous plane ranges (shell-major satellite ids,
+// plane-major within a shell — see topology.NewProvider).
+func NewPartition(prov *topology.Provider, n int) (*Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d must be positive", n)
+	}
+	cfg := prov.Config()
+	shells := append([]orbit.WalkerConfig{cfg.Walker}, cfg.ExtraShells...)
+	totalPlanes := 0
+	for _, sh := range shells {
+		totalPlanes += sh.Planes
+	}
+	if n > totalPlanes {
+		return nil, fmt.Errorf("cluster: %d shards exceed %d orbital planes", n, totalPlanes)
+	}
+	pt := &Partition{
+		shards:   n,
+		numSats:  prov.NumSats(),
+		satOwner: make([]int32, prov.NumSats()),
+	}
+	sat, globalPlane := 0, 0
+	for _, sh := range shells {
+		for plane := 0; plane < sh.Planes; plane++ {
+			owner := int32(globalPlane * n / totalPlanes)
+			for idx := 0; idx < sh.SatsPerPlane; idx++ {
+				pt.satOwner[sat] = owner
+				sat++
+			}
+			globalPlane++
+		}
+	}
+	if sat != prov.NumSats() {
+		return nil, fmt.Errorf("cluster: plane walk covered %d of %d satellites", sat, prov.NumSats())
+	}
+
+	pt.siteShard = make([]int32, prov.NumSites())
+	for i := range pt.siteShard {
+		pt.siteShard[i] = int32(lonBucket(prov.SiteECEF(i).X, prov.SiteECEF(i).Y, n))
+	}
+	pt.eoShard = make([]int32, prov.NumEO())
+	for i := range pt.eoShard {
+		pt.eoShard[i] = int32(i % n)
+	}
+	return pt, nil
+}
+
+// lonBucket maps an ECEF position's longitude to one of n equal-width
+// buckets — a pure function of fixed site coordinates, so
+// region-affinity routing is deterministic regardless of GOMAXPROCS or
+// request interleaving.
+func lonBucket(x, y float64, n int) int {
+	lon := math.Atan2(y, x) // [-π, π]
+	b := int((lon + math.Pi) / (2 * math.Pi) * float64(n))
+	if b >= n {
+		b = n - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// NumShards returns the shard count.
+func (pt *Partition) NumShards() int { return pt.shards }
+
+// SatOwner returns the shard owning a satellite's battery.
+func (pt *Partition) SatOwner(sat int) int { return int(pt.satOwner[sat]) }
+
+// LinkOwner returns the shard owning a link's capacity ledger: the
+// transmitting satellite's shard, or — for uplinks from ground/EO
+// endpoints — the receiving satellite's. Every link in the system has
+// at least one broadband-satellite endpoint.
+func (pt *Partition) LinkOwner(key netstate.LinkKey) int {
+	if from := key.From(); from < pt.numSats {
+		return int(pt.satOwner[from])
+	}
+	if to := key.To(); to < pt.numSats {
+		return int(pt.satOwner[to])
+	}
+	return 0
+}
+
+// Affinity returns the region-affinity shard of a request source
+// endpoint: ground sites bucket by longitude, EO satellites by fleet
+// index. Deterministic — the same endpoint always routes to the same
+// shard.
+func (pt *Partition) Affinity(src topology.Endpoint) int {
+	switch src.Kind {
+	case topology.EndpointSpace:
+		if src.Index >= 0 && src.Index < len(pt.eoShard) {
+			return int(pt.eoShard[src.Index])
+		}
+	case topology.EndpointGround:
+		if src.Index >= 0 && src.Index < len(pt.siteShard) {
+			return int(pt.siteShard[src.Index])
+		}
+	}
+	return 0
+}

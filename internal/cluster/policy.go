@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy selects how the front end routes bookings to shards.
+type Policy int
+
+const (
+	// RoundRobin spreads requests evenly regardless of load.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the shard with the shallowest ingress queue
+	// (ties to the lowest shard id).
+	LeastLoaded
+	// Affinity routes by the request's source region (site longitude
+	// bucket / EO fleet index): deterministic, and it keeps one region's
+	// contending requests on one shard's pricing view.
+	Affinity
+)
+
+// ParsePolicy resolves a -router flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "round-robin", "rr":
+		return RoundRobin, nil
+	case "least-loaded", "ll":
+		return LeastLoaded, nil
+	case "affinity", "region-affinity":
+		return Affinity, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown router policy %q (want round-robin, least-loaded or affinity)", s)
+}
+
+// String renders the flag form.
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case Affinity:
+		return "affinity"
+	default:
+		return "round-robin"
+	}
+}
+
+// tokenBucket is a per-shard admission limiter: ratePerSec tokens
+// refill continuously up to burst. A zero rate disables the bucket.
+// Route calls arrive from many handler goroutines, so the bucket is
+// mutex-guarded; the critical section is a few float operations.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(ratePerSec, burst float64, now time.Time) *tokenBucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = ratePerSec
+	}
+	return &tokenBucket{rate: ratePerSec, burst: burst, tokens: burst, last: now}
+}
+
+// allow consumes one token if available. Nil receivers (bucket
+// disabled) always allow.
+func (tb *tokenBucket) allow(now time.Time) bool {
+	if tb == nil {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"spacebooking/internal/netstate"
+	"spacebooking/internal/sim"
+)
+
+// Finish runs every shard engine's final sweep and merges the results.
+// Call only after Done() — the shard loops must have exited so the
+// engines are quiesced. A prepare-ledger leak on any shard is joined
+// into the returned error (wrapping netstate.ErrPreparedLeak) while the
+// merged result is still returned, so a serving layer can log the
+// invariant violation without losing the run; any other engine error
+// aborts the merge.
+func (c *Cluster) Finish() (*sim.Result, error) {
+	results := make([]*sim.Result, len(c.shards))
+	var leakErr error
+	for i, sh := range c.shards {
+		res, err := sh.eng.Finish()
+		if err != nil {
+			if errors.Is(err, netstate.ErrPreparedLeak) && res != nil {
+				leakErr = errors.Join(leakErr, fmt.Errorf("shard %d: %w", i, err))
+			} else {
+				return nil, fmt.Errorf("cluster: shard %d finish: %w", i, err)
+			}
+		}
+		results[i] = res
+	}
+	if len(results) == 1 {
+		// Single-shard passthrough: the bare engine's result, untouched.
+		return results[0], leakErr
+	}
+	return c.merge(results), leakErr
+}
+
+// merge combines per-shard results into one cluster-wide Result.
+// Request-level metrics sum; the per-slot congestion/depletion sweeps
+// re-run over each shard's state restricted to the resources that
+// shard owns (the authoritative slices), so every link and battery is
+// counted exactly once.
+func (c *Cluster) merge(rs []*sim.Result) *sim.Result {
+	horizon := c.prov.Horizon()
+	out := &sim.Result{
+		Algorithm:  rs[0].Algorithm,
+		Rejections: make(map[string]int),
+	}
+	var totalHops, totalSlotPaths int
+	var totalLatency float64
+	arrived := make([]float64, horizon)
+	accepted := make([]float64, horizon)
+	for i, r := range rs {
+		out.TotalRequests += r.TotalRequests
+		out.Accepted += r.Accepted
+		out.TotalValuation += r.TotalValuation
+		out.AcceptedValuation += r.AcceptedValuation
+		out.Revenue += r.Revenue
+		for k, v := range r.Rejections {
+			out.Rejections[k] += v
+		}
+		hops, paths, lat := c.shards[i].eng.PathTotals()
+		totalHops += hops
+		totalSlotPaths += paths
+		totalLatency += lat
+		arr, acc := c.shards[i].eng.ValuationPerSlot()
+		for t := 0; t < horizon; t++ {
+			arrived[t] += arr[t]
+			accepted[t] += acc[t]
+		}
+	}
+	if out.TotalValuation > 0 {
+		out.WelfareRatio = out.AcceptedValuation / out.TotalValuation
+	}
+	if totalSlotPaths > 0 {
+		out.AvgAcceptedHops = float64(totalHops) / float64(totalSlotPaths)
+	}
+	if out.Accepted > 0 {
+		out.AvgAcceptedLatencyMs = totalLatency / float64(out.Accepted)
+	}
+
+	out.DepletedPerSlot = make([]int, horizon)
+	out.CongestedPerSlot = make([]int, horizon)
+	out.CumulativeWelfareRatio = make([]float64, horizon)
+	rc := c.cfg.Run
+	cumArr, cumAcc := 0.0, 0.0
+	for t := 0; t < horizon; t++ {
+		for i, sh := range c.shards {
+			owner := i
+			out.DepletedPerSlot[t] += sh.state.DepletedSatCountFunc(t, rc.DepletionThresholdFrac,
+				func(sat int) bool { return c.part.SatOwner(sat) == owner })
+			out.CongestedPerSlot[t] += sh.state.CongestedLinkCountFunc(t, rc.CongestionThresholdFrac,
+				func(key netstate.LinkKey) bool { return c.part.LinkOwner(key) == owner })
+		}
+		cumArr += arrived[t]
+		cumAcc += accepted[t]
+		if cumArr > 0 {
+			out.CumulativeWelfareRatio[t] = cumAcc / cumArr
+		} else {
+			out.CumulativeWelfareRatio[t] = 1
+		}
+	}
+	return out
+}
+
+// ShardStats is one shard's row in the /v1/stats shard section.
+type ShardStats struct {
+	ID         int   `json:"id"`
+	QueueDepth int   `json:"queue_depth"`
+	Submitted  int64 `json:"submitted"`
+	Accepted   int64 `json:"accepted"`
+	Rejected   int64 `json:"rejected"`
+	Prepared   int64 `json:"prepared"`
+	Committed  int64 `json:"committed"`
+	Aborted    int64 `json:"aborted"`
+	CrossShard int64 `json:"cross_shard"`
+	TokenShed  int64 `json:"token_shed"`
+}
+
+// Stats snapshots every shard's live counters.
+func (c *Cluster) Stats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = ShardStats{
+			ID:         sh.id,
+			QueueDepth: len(sh.in),
+			Submitted:  sh.statSubmitted.Load(),
+			Accepted:   sh.statAccepted.Load(),
+			Rejected:   sh.statRejected.Load(),
+			Prepared:   sh.statPrepared.Load(),
+			Committed:  sh.statCommitted.Load(),
+			Aborted:    sh.statAborted.Load(),
+			CrossShard: sh.statCross.Load(),
+			TokenShed:  sh.statTokenShed.Load(),
+		}
+	}
+	return out
+}

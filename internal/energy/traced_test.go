@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ConsumeTraced must be an exact behavioural duplicate of Consume: same
+// feasibility decisions, same ledger bits. The trace is extra output,
+// never a different code path.
+func TestConsumeTracedMatchesConsume(t *testing.T) {
+	for _, clamp := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(7))
+		a := mustBattery(t, 500, constSolar(12, 40), clamp)
+		b := mustBattery(t, 500, constSolar(12, 40), clamp)
+		var steps []ConsumeStep
+		for i := 0; i < 200; i++ {
+			ta := rng.Intn(12)
+			j := rng.Float64() * 120
+			errA := a.Consume(ta, j)
+			var errB error
+			steps, errB = b.ConsumeTraced(ta, j, steps[:0])
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("clamp=%v op %d: Consume err=%v, ConsumeTraced err=%v", clamp, i, errA, errB)
+			}
+			for tt := 0; tt < 12; tt++ {
+				if a.SolarRemainingAt(tt) != b.SolarRemainingAt(tt) || a.DeficitAt(tt) != b.DeficitAt(tt) {
+					t.Fatalf("clamp=%v op %d slot %d: ledgers diverged (solar %v vs %v, deficit %v vs %v)",
+						clamp, i, tt, a.SolarRemainingAt(tt), b.SolarRemainingAt(tt), a.DeficitAt(tt), b.DeficitAt(tt))
+				}
+			}
+		}
+	}
+}
+
+// The recorded steps must account for exactly what the consume took:
+// refunding every step returns the ledgers to (numerically) where they
+// started, and never drives a deficit negative.
+func TestRefundReversesTracedConsume(t *testing.T) {
+	b := mustBattery(t, 400, constSolar(10, 30), false)
+	// Pre-existing load so the traced consume walks several slots.
+	if err := b.Consume(4, 100); err != nil {
+		t.Fatal(err)
+	}
+	solarBefore := make([]float64, 10)
+	deficitBefore := make([]float64, 10)
+	for tt := 0; tt < 10; tt++ {
+		solarBefore[tt] = b.SolarRemainingAt(tt)
+		deficitBefore[tt] = b.DeficitAt(tt)
+	}
+
+	steps, err := b.ConsumeTraced(6, 90, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded for a successful consume")
+	}
+	var taken float64
+	for _, st := range steps {
+		taken += st.AbsorbedJ
+	}
+	if math.Abs(taken+steps[len(steps)-1].PostedJ-90) > 1e-9 && steps[len(steps)-1].PostedJ == 0 {
+		// All 90 J must be absorbed across the steps when nothing posts.
+		t.Fatalf("steps account for %v J of 90", taken)
+	}
+
+	for i := len(steps) - 1; i >= 0; i-- {
+		b.Refund(steps[i])
+	}
+	for tt := 0; tt < 10; tt++ {
+		if math.Abs(b.SolarRemainingAt(tt)-solarBefore[tt]) > 1e-9 {
+			t.Errorf("slot %d solar = %v, want %v after refund", tt, b.SolarRemainingAt(tt), solarBefore[tt])
+		}
+		if math.Abs(b.DeficitAt(tt)-deficitBefore[tt]) > 1e-9 {
+			t.Errorf("slot %d deficit = %v, want %v after refund", tt, b.DeficitAt(tt), deficitBefore[tt])
+		}
+		if b.DeficitAt(tt) < 0 {
+			t.Errorf("slot %d deficit %v < 0 after refund", tt, b.DeficitAt(tt))
+		}
+	}
+}
+
+func TestRefundClampsDeficitAtZero(t *testing.T) {
+	b := mustBattery(t, 100, constSolar(4, 10), false)
+	// A refund claiming more posted deficit than the ledger holds must
+	// clamp, not go negative (over-release is resource-safe).
+	b.Refund(ConsumeStep{Slot: 2, AbsorbedJ: 0, PostedJ: 50})
+	if got := b.DeficitAt(2); got != 0 {
+		t.Errorf("deficit = %v, want 0", got)
+	}
+}
+
+func TestConsumeTracedInfeasibleLeavesNoTrace(t *testing.T) {
+	b := mustBattery(t, 50, constSolar(4, 5), false)
+	steps, err := b.ConsumeTraced(1, 1e6, nil)
+	if err == nil {
+		t.Fatal("infeasible consume succeeded")
+	}
+	if len(steps) != 0 {
+		t.Fatalf("failed consume recorded %d steps", len(steps))
+	}
+	for tt := 0; tt < 4; tt++ {
+		if b.DeficitAt(tt) != 0 {
+			t.Errorf("slot %d deficit %v after failed consume", tt, b.DeficitAt(tt))
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package netstate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"spacebooking/internal/graph"
+)
+
+// reserveSomething opens a transaction, reserves a routable path and
+// consumes its energy, returning the open txn plus the touched path
+// geometry for later inspection.
+func reserveSomething(t *testing.T, s *State, rate float64) (*Txn, *View, graph.Path, int) {
+	t.Helper()
+	slot := findRoutableSlot(t, s, groundEP(0), groundEP(1))
+	v, err := NewView(s, slot, groundEP(0), groundEP(1), rate, hopCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := graph.ShortestPath(v, v.SrcNode(), v.DstNode(), nil)
+	if !ok {
+		t.Fatal("no route")
+	}
+	txn := s.Begin()
+	if err := txn.ReservePath(v, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Consume(v.PathConsumptions(p)); err != nil {
+		t.Fatal(err)
+	}
+	return txn, v, p, slot
+}
+
+// snapshotLedgers captures every link's use at slot plus every touched
+// battery's full solar/deficit ledgers, for byte-exact comparison.
+func snapshotLedgers(s *State, v *View, p graph.Path, slot int) map[string]float64 {
+	out := map[string]float64{}
+	for i := 0; i < len(p.Nodes)-1; i++ {
+		key := v.LinkKeyFor(p.Nodes[i], p.Nodes[i+1])
+		out[fmt.Sprintf("link/%v", key)] = s.LinkUsedMbps(key, slot)
+	}
+	for _, n := range p.Nodes[1 : len(p.Nodes)-1] {
+		for tt := 0; tt < s.Provider().Horizon(); tt++ {
+			out[fmt.Sprintf("def/%d/%d", n, tt)] = s.Battery(n).DeficitAt(tt)
+			out[fmt.Sprintf("sol/%d/%d", n, tt)] = s.Battery(n).SolarRemainingAt(tt)
+		}
+	}
+	return out
+}
+
+func diffLedgers(t *testing.T, got, want map[string]float64, context string) {
+	t.Helper()
+	for k, w := range want {
+		if g := got[k]; g != w {
+			t.Errorf("%s: %s = %v, want %v", context, k, g, w)
+		}
+	}
+}
+
+// Prepare followed by Commit must land on byte-identical ledgers to the
+// single-phase Commit of the same reservation on a fresh state.
+func TestPrepareCommitMatchesSinglePhase(t *testing.T) {
+	single := newTestState(t, twoCitySites(), false)
+	txn1, v1, p1, slot1 := reserveSomething(t, single, 500)
+	if err := txn1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotLedgers(single, v1, p1, slot1)
+
+	two := newTestState(t, twoCitySites(), false)
+	two.EnableTwoPhase()
+	txn2, v2, p2, slot2 := reserveSomething(t, two, 500)
+	if slot2 != slot1 {
+		t.Fatalf("routable slots diverged: %d vs %d", slot1, slot2)
+	}
+	prep, err := txn2.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.PreparedOutstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", two.PreparedOutstanding())
+	}
+	prep.Commit()
+	if two.PreparedOutstanding() != 0 {
+		t.Fatalf("outstanding = %d after commit", two.PreparedOutstanding())
+	}
+	diffLedgers(t, snapshotLedgers(two, v2, p2, slot2), want, "prepare+commit vs single-phase")
+}
+
+// Prepare followed by Abort on an untouched state is the snapshot
+// restore path: byte-identical to Rollback (pristine ledgers).
+func TestPrepareAbortMatchesRollback(t *testing.T) {
+	pristine := newTestState(t, twoCitySites(), false)
+	_, vp, pp, slotp := reserveSomething(t, pristine, 750)
+	// Roll the pristine state's txn back so it really is pristine.
+	want := func() map[string]float64 {
+		s := newTestState(t, twoCitySites(), false)
+		txn, v, p, slot := reserveSomething(t, s, 750)
+		txn.Rollback()
+		_ = v
+		_ = p
+		_ = slot
+		return snapshotLedgers(s, vp, pp, slotp)
+	}()
+
+	s := newTestState(t, twoCitySites(), false)
+	s.EnableTwoPhase()
+	txn, v, p, slot := reserveSomething(t, s, 750)
+	prep, err := txn.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While prepared, the deltas are pinned: the link shows the use.
+	key := v.LinkKeyFor(p.Nodes[0], p.Nodes[1])
+	if got := s.LinkUsedMbps(key, slot); got != 750 {
+		t.Fatalf("pinned link use = %v, want 750", got)
+	}
+	prep.Abort()
+	prep.Abort() // idempotent
+	diffLedgers(t, snapshotLedgers(s, v, p, slot), want, "prepare+abort vs rollback")
+	if s.PreparedOutstanding() != 0 {
+		t.Fatalf("outstanding = %d after abort", s.PreparedOutstanding())
+	}
+}
+
+// When another transaction commits on the same battery between Prepare
+// and Abort, the abort must take the refund path: the interleaved
+// commit survives exactly as it was made (its absorption walk ran
+// against the pinned deltas, so its slot distribution may legitimately
+// differ from a solo run), the aborted transaction's claim is fully
+// released, and no deficit goes negative.
+func TestPrepareAbortAfterInterleavedCommit(t *testing.T) {
+	s := newTestState(t, twoCitySites(), false)
+	s.EnableTwoPhase()
+
+	// Fresh per-slot solar baseline, for conservation accounting.
+	fresh := newTestState(t, twoCitySites(), false)
+
+	txnA, _, pA, _ := reserveSomething(t, s, 600)
+	prep, err := txnA.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := pA.Nodes[1]
+
+	// Interleave: a second transaction consumes on a battery A touched,
+	// and commits.
+	txnB := s.Begin()
+	if err := txnB.Consume([]Consumption{{Sat: sat, Slot: 2, Joules: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	prep.Abort()
+
+	// After the abort, the battery holds exactly txnB's 50 J claim: the
+	// total solar absorbed across the horizon is txnB's 50 and nothing
+	// of txnA's, and any outstanding per-slot deficit (debt txnB carried
+	// until its absorption slot) never exceeds that claim or goes
+	// negative.
+	absorbed := 0.0
+	for tt := 0; tt < s.Provider().Horizon(); tt++ {
+		d := s.Battery(sat).DeficitAt(tt)
+		if d < 0 || d > 50+1e-9 {
+			t.Errorf("slot %d deficit %v outside [0, 50] after refund abort", tt, d)
+		}
+		absorbed += fresh.Battery(sat).SolarRemainingAt(tt) - s.Battery(sat).SolarRemainingAt(tt)
+	}
+	if math.Abs(absorbed-50) > 1e-6 {
+		t.Errorf("net absorbed solar = %v J after abort, want txnB's 50", absorbed)
+	}
+}
+
+func TestPrepareRequiresTwoPhase(t *testing.T) {
+	s := newTestState(t, twoCitySites(), false)
+	txn := s.Begin()
+	if _, err := txn.Prepare(); err == nil {
+		t.Fatal("Prepare without EnableTwoPhase succeeded")
+	}
+	txn.Rollback()
+}
+
+func TestCheckPreparedDrained(t *testing.T) {
+	s := newTestState(t, twoCitySites(), false)
+	s.EnableTwoPhase()
+	if err := s.CheckPreparedDrained(); err != nil {
+		t.Fatalf("fresh state: %v", err)
+	}
+	txn := s.Begin()
+	if err := txn.Consume([]Consumption{{Sat: 0, Slot: 0, Joules: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := txn.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.CheckPreparedDrained()
+	if err == nil {
+		t.Fatal("outstanding prepare not reported")
+	}
+	if !errors.Is(err, ErrPreparedLeak) {
+		t.Fatalf("error %v does not wrap ErrPreparedLeak", err)
+	}
+	prep.Commit()
+	prep.Commit() // idempotent
+	if err := s.CheckPreparedDrained(); err != nil {
+		t.Fatalf("after commit: %v", err)
+	}
+}
+
+// An installed interceptor receives every Txn.Commit as a Prepared and
+// its verdict is the commit's verdict.
+func TestCommitInterceptor(t *testing.T) {
+	s := newTestState(t, twoCitySites(), false)
+	var seen *Prepared
+	s.SetCommitInterceptor(func(p *Prepared) error {
+		seen = p
+		p.Commit()
+		return nil
+	})
+	if !s.TwoPhaseEnabled() {
+		t.Fatal("interceptor did not enable two-phase mode")
+	}
+	txn, _, _, _ := reserveSomething(t, s, 400)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if seen == nil {
+		t.Fatal("interceptor never called")
+	}
+	links := 0
+	seen.EachLink(func(LinkKey, int, float64) { links++ })
+	cons := 0
+	seen.EachConsumption(func(Consumption) { cons++ })
+	if links == 0 || cons == 0 {
+		t.Fatalf("prepared carries %d links, %d consumptions", links, cons)
+	}
+
+	// A rejecting interceptor surfaces its error and must abort.
+	s2 := newTestState(t, twoCitySites(), false)
+	wantErr := errors.New("conflict")
+	s2.SetCommitInterceptor(func(p *Prepared) error {
+		p.Abort()
+		return wantErr
+	})
+	txn2, v2, p2, slot2 := reserveSomething(t, s2, 400)
+	if err := txn2.Commit(); !errors.Is(err, wantErr) {
+		t.Fatalf("Commit error = %v, want %v", err, wantErr)
+	}
+	key := v2.LinkKeyFor(p2.Nodes[0], p2.Nodes[1])
+	if got := s2.LinkUsedMbps(key, slot2); got != 0 {
+		t.Fatalf("link use = %v after aborted commit", got)
+	}
+	if s2.PreparedOutstanding() != 0 {
+		t.Fatalf("outstanding = %d", s2.PreparedOutstanding())
+	}
+}

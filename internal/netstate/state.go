@@ -128,6 +128,17 @@ type State struct {
 	txn txnScratch
 	// hot is the opt-in per-entity attribution state; see EnableHotspots.
 	hot hotspots
+
+	// Two-phase commit support (see prepare.go). All zero/nil — and the
+	// single-phase path unchanged — until EnableTwoPhase or
+	// SetCommitInterceptor is called.
+	twoPhase  bool
+	intercept CommitInterceptor
+	// batVer counts mutations per battery; a Prepared whose battery is
+	// unchanged since Prepare aborts by snapshot restore (bit-exact),
+	// otherwise by step refund.
+	batVer []uint64
+	prep   prepareLedger
 }
 
 // stateInstruments caches the state's observability handles. All nil
@@ -135,6 +146,7 @@ type State struct {
 type stateInstruments struct {
 	txnCommits    *obs.Counter
 	txnRollbacks  *obs.Counter
+	txnPrepares   *obs.Counter
 	linkReserves  *obs.Counter
 	trialConsumes *obs.Counter
 	scratchReuses *obs.Counter
@@ -163,6 +175,7 @@ func (s *State) SetObs(reg *obs.Registry) {
 	s.instr = stateInstruments{
 		txnCommits:    reg.Counter("netstate.txn.commits"),
 		txnRollbacks:  reg.Counter("netstate.txn.rollbacks"),
+		txnPrepares:   reg.Counter("netstate.txn.prepares"),
 		linkReserves:  reg.Counter("netstate.link.reservations"),
 		trialConsumes: reg.Counter("netstate.trial_consumes"),
 		scratchReuses: reg.Counter("netstate.scratch.reuses"),
@@ -342,6 +355,51 @@ func (s *State) DepletedSatCount(slot int, thresholdFrac float64) int {
 // telemetry layer. Allocation-free.
 func (s *State) EnergyDeficitJ(slot int) float64 {
 	return energy.SumDeficitJ(s.batteries, slot)
+}
+
+// CongestedLinkCountFunc is CongestedLinkCount restricted to links the
+// filter accepts. A sharded cluster sweeps each shard's state over the
+// links that shard owns, so the merged per-slot metric counts every
+// link exactly once even though every shard tracks a full-constellation
+// ledger.
+func (s *State) CongestedLinkCountFunc(slot int, thresholdFrac float64, owned func(LinkKey) bool) int {
+	count := 0
+	for key, l := range s.links {
+		if slot < 0 || slot >= len(l.used) || !owned(key) {
+			continue
+		}
+		if l.capacityMbps-l.used[slot] < thresholdFrac*l.capacityMbps {
+			count++
+		}
+	}
+	return count
+}
+
+// DepletedSatCountFunc is DepletedSatCount restricted to satellites the
+// filter accepts; the cluster-side complement of CongestedLinkCountFunc.
+func (s *State) DepletedSatCountFunc(slot int, thresholdFrac float64, owned func(sat int) bool) int {
+	count := 0
+	for sat, b := range s.batteries {
+		if !owned(sat) {
+			continue
+		}
+		if b.LevelAt(slot) < thresholdFrac*b.CapacityJ() {
+			count++
+		}
+	}
+	return count
+}
+
+// EnergyDeficitJFunc sums the outstanding deficit over owned satellites
+// only, for the cluster's merged energy-debt series.
+func (s *State) EnergyDeficitJFunc(slot int, owned func(sat int) bool) float64 {
+	total := 0.0
+	for sat, b := range s.batteries {
+		if owned(sat) {
+			total += b.DeficitAt(slot)
+		}
+	}
+	return total
 }
 
 // Consumption is one satellite energy draw: Joules consumed at Slot on

@@ -8,28 +8,35 @@
 //
 // Architecture:
 //
-//	HTTP handlers ──► bounded ingress queue ──► engine goroutine
-//	   (many)            (backpressure:           (single writer:
-//	                      full = shed with         batches of ≤ B
-//	                      "overloaded")            through sim.Engine)
+//	HTTP handlers ──► router ──► per-shard ingress queue ──► shard loop
+//	   (many)        (policy +     (backpressure: full =     (single
+//	                  token          shed "overloaded")       writer per
+//	                  bucket)                                 sim.Engine)
 //
-// All admission runs on one engine goroutine, preserving the paper's
-// sequential online model and the engine's single-writer contract; the
-// HTTP layer's only job is to queue, wait, and shed. Because the engine
-// is the same code path sim.Run uses, a served request stream (clock at
-// max speed, batch size 1) is bit-identical to a batch simulation of
-// the same stream.
+// Admission runs on per-shard engine goroutines (internal/cluster),
+// preserving the paper's sequential online model and each engine's
+// single-writer contract; the HTTP layer's only job is to route, queue,
+// wait, and shed. With one shard (the default) the cluster is a
+// passthrough and the engine is the same code path sim.Run uses, so a
+// served request stream (clock at max speed, batch size 1) is
+// bit-identical to a batch simulation of the same stream. With more
+// shards, bookings whose plans cross shard ownership run the two-phase
+// prepare/commit protocol.
 package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spacebooking/internal/buildinfo"
+	"spacebooking/internal/cluster"
+	"spacebooking/internal/netstate"
 	"spacebooking/internal/obs"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/topology"
@@ -85,6 +92,20 @@ type Config struct {
 	BatchSize int
 	// Now is the wall clock, for tests. Default time.Now.
 	Now func() time.Time
+	// Shards is the admission-engine count (default 1). With more than
+	// one shard, requests are routed to per-shard single-writer engine
+	// loops and cross-shard bookings run the two-phase prepare/commit
+	// protocol; with one shard the service is byte-identical to the
+	// pre-cluster single-engine path.
+	Shards int
+	// Router selects the shard routing policy (round-robin,
+	// least-loaded, affinity).
+	Router cluster.Policy
+	// ShardTokenRate/ShardTokenBurst configure per-shard token-bucket
+	// admission (requests per second); zero rate disables it. Exhausted
+	// buckets shed with HTTP 429 and reason "overloaded_shard".
+	ShardTokenRate  float64
+	ShardTokenBurst float64
 	// Trace configures request-scoped tracing and the admission audit
 	// stream. The zero value disables tracing entirely.
 	Trace TraceConfig
@@ -145,6 +166,10 @@ type pending struct {
 	enqueued time.Time
 	resv     Reservation
 	done     chan struct{}
+	// shard is the routed shard id; cross marks a booking that ran the
+	// cross-shard two-phase protocol. Both feed the audit record.
+	shard int
+	cross bool
 
 	// Tracing state (zero-valued when tracing is disabled).
 	clientID    string
@@ -162,15 +187,14 @@ type pending struct {
 // Server is the long-running booking service.
 type Server struct {
 	cfg     Config
-	eng     *sim.Engine
+	cl      *cluster.Cluster
 	clock   *slotClock
 	horizon int
 	now     func() time.Time
 	started time.Time
 
-	in chan *pending
-	// lifeMu guards draining and the close of in: enqueues hold it
-	// shared, Shutdown exclusively, so close never races a send.
+	// lifeMu guards draining and the cluster intake close: enqueues
+	// hold it shared, Shutdown exclusively, so close never races a send.
 	lifeMu     sync.RWMutex
 	draining   bool
 	engineDone chan struct{}
@@ -198,7 +222,7 @@ type Server struct {
 	tracePool *obs.TracePool
 	policy    obs.SamplePolicy
 	sink      *auditSink
-	probe     engineProbe
+	probes    []engineProbe // one per shard, over that shard's registry
 	// auditWG counts traced requests whose audit record has not been
 	// emitted yet; Shutdown waits on it before flushing the sink so a
 	// graceful drain never truncates the audit stream.
@@ -244,19 +268,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SLO.AvailabilityTarget == 0 {
 		cfg.SLO.AvailabilityTarget = 0.999
 	}
-	eng, err := sim.NewEngine(cfg.Provider, cfg.Run)
-	if err != nil {
-		return nil, err
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
 	}
 	reg := cfg.Run.Obs
 	s := &Server{
 		cfg:        cfg,
-		eng:        eng,
 		clock:      newSlotClock(cfg.ClockRate, cfg.Now()),
 		horizon:    cfg.Provider.Horizon(),
 		now:        cfg.Now,
 		started:    cfg.Now(),
-		in:         make(chan *pending, cfg.QueueDepth),
 		engineDone: make(chan struct{}),
 		resvs:      make(map[int64]Reservation),
 		gQueue:     reg.Gauge("server.queue_depth"),
@@ -268,6 +289,22 @@ func New(cfg Config) (*Server, error) {
 		sloLatency: obs.NewSLOClass(reg, "latency", cfg.SLO.LatencyObjective.Seconds(), cfg.SLO.LatencyTarget),
 		sloAvail:   obs.NewSLOClass(reg, "availability", 0, cfg.SLO.AvailabilityTarget),
 	}
+	cl, err := cluster.New(cfg.Provider, cluster.Config{
+		Shards:     cfg.Shards,
+		Policy:     cfg.Router,
+		Run:        cfg.Run,
+		QueueDepth: cfg.QueueDepth,
+		BatchSize:  cfg.BatchSize,
+		TokenRate:  cfg.ShardTokenRate,
+		TokenBurst: cfg.ShardTokenBurst,
+		Now:        cfg.Now,
+		RunBatch:   s.runBatch,
+		TestGate:   cfg.testGate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cl = cl
 	if cfg.Trace.enabled() {
 		sink, err := newAuditSink(cfg.Trace, reg)
 		if err != nil {
@@ -280,16 +317,39 @@ func New(cfg Config) (*Server, error) {
 			SlowNs: cfg.Trace.SlowThreshold.Nanoseconds(),
 		}
 		s.sink = sink
-		s.probe = newEngineProbe(reg)
-		eng.EnableTraceDetail()
+		for i := 0; i < cl.NumShards(); i++ {
+			sh := cl.Shard(i)
+			s.probes = append(s.probes, newEngineProbe(sh.Registry()))
+			sh.Engine().EnableTraceDetail()
+		}
 	}
 	s.statSlot.Store(-1)
-	go s.engineLoop()
+	cl.Start()
+	go s.finishWhenDrained()
 	return s, nil
 }
 
+// finishWhenDrained waits for the shard loops to drain, runs the
+// engines' final sweeps and publishes the merged result. A
+// prepare-ledger leak is an invariant violation the serving layer logs
+// (tests reach it through sim/cluster Finish, which fail loudly); the
+// merged result survives it.
+func (s *Server) finishWhenDrained() {
+	defer close(s.engineDone)
+	<-s.cl.Done()
+	res, err := s.cl.Finish()
+	if err != nil && errors.Is(err, netstate.ErrPreparedLeak) && res != nil {
+		log.Printf("server: prepare-ledger leak at drain: %v", err)
+		err = nil
+	}
+	s.result, s.resultErr = res, err
+}
+
 // Algorithm returns the engine's algorithm display name.
-func (s *Server) Algorithm() string { return s.eng.Algorithm() }
+func (s *Server) Algorithm() string { return s.cl.Algorithm() }
+
+// NumShards returns the admission-engine shard count.
+func (s *Server) NumShards() int { return s.cl.NumShards() }
 
 // Horizon returns the number of slots served.
 func (s *Server) Horizon() int { return s.horizon }
@@ -302,36 +362,44 @@ func (s *Server) Slot() int { return s.clock.now(s.now()) }
 var (
 	errShed     = fmt.Errorf("server: ingress queue full")
 	errDraining = fmt.Errorf("server: draining")
+	// errOverloadedShard is a routed shard's token bucket running dry:
+	// HTTP 429 with reason "overloaded_shard".
+	errOverloadedShard = fmt.Errorf("server: shard overloaded")
 )
 
-// enqueue hands one pending booking to the engine goroutine without
-// ever blocking: a full queue sheds immediately (backpressure), a
-// draining server refuses.
+// enqueue routes one pending booking to a shard and hands it to that
+// shard's loop without ever blocking: a full queue (or a dry shard
+// token bucket) sheds immediately (backpressure), a draining server
+// refuses.
 func (s *Server) enqueue(p *pending) error {
 	s.lifeMu.RLock()
 	defer s.lifeMu.RUnlock()
 	if s.draining {
 		return errDraining
 	}
-	select {
-	case s.in <- p:
-		depth := int64(len(s.in))
-		s.gQueue.Set(float64(depth))
-		for {
-			hw := s.statQueueHW.Load()
-			if depth <= hw {
-				break
-			}
-			if s.statQueueHW.CompareAndSwap(hw, depth) {
-				s.gQueueHW.Set(float64(depth))
-				break
-			}
-		}
-		return nil
-	default:
+	sh, err := s.cl.Route(p.src)
+	if err != nil {
+		s.ctrShed.Inc()
+		return errOverloadedShard
+	}
+	p.shard = sh.ID()
+	if err := sh.Submit(p); err != nil {
 		s.ctrShed.Inc()
 		return errShed
 	}
+	depth := int64(s.cl.QueuedTotal())
+	s.gQueue.Set(float64(depth))
+	for {
+		hw := s.statQueueHW.Load()
+		if depth <= hw {
+			break
+		}
+		if s.statQueueHW.CompareAndSwap(hw, depth) {
+			s.gQueueHW.Set(float64(depth))
+			break
+		}
+	}
+	return nil
 }
 
 // Shutdown stops intake and drains: queued requests are still admitted,
@@ -342,7 +410,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.lifeMu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.in)
+		s.cl.CloseIntake()
 	}
 	s.lifeMu.Unlock()
 	select {
@@ -382,66 +450,41 @@ func (s *Server) Result() (*sim.Result, error) {
 	}
 }
 
-// engineLoop is the single writer: it owns the sim.Engine, batching
-// queued requests and admitting them in arrival order. It exits when
-// the ingress channel is closed and drained, then runs the engine's
-// final sweep.
-func (s *Server) engineLoop() {
-	defer close(s.engineDone)
-	batch := make([]*pending, 0, s.cfg.BatchSize)
-	for p := range s.in {
-		if s.cfg.testGate != nil {
-			<-s.cfg.testGate
+// runBatch is the shard loop body (cluster.Config.RunBatch): it runs on
+// the shard's goroutine with a batch of queued requests and admits them
+// in arrival order through that shard's engine. Engine errors are
+// recorded on the reservation (StatusError) rather than crashing the
+// daemon — they indicate bugs, and the obs counters make them visible.
+func (s *Server) runBatch(sh *cluster.Shard, items []any) {
+	s.gQueue.Set(float64(s.cl.QueuedTotal()))
+	s.ctrBatches.Inc()
+	if s.tracing {
+		now := s.now()
+		for _, it := range items {
+			q := it.(*pending)
+			q.rec.End(q.qwSpan, now)
+			q.bwSpan = q.rec.Begin(PhaseBatchWait, now)
 		}
-		batch = append(batch[:0], p)
-	collect:
-		for len(batch) < s.cfg.BatchSize {
-			select {
-			case q, ok := <-s.in:
-				if !ok {
-					break collect
-				}
-				batch = append(batch, q)
-			default:
-				break collect
-			}
-		}
-		s.gQueue.Set(float64(len(s.in)))
-		s.ctrBatches.Inc()
-		if s.tracing {
-			now := s.now()
-			for _, q := range batch {
-				q.rec.End(q.qwSpan, now)
-				q.bwSpan = q.rec.Begin(PhaseBatchWait, now)
-			}
-		}
-		s.admitBatch(batch)
 	}
-	s.result, s.resultErr = s.eng.Finish()
-}
-
-// admitBatch resolves each pending booking's window against the slot
-// clock and runs it through the engine. Engine errors are recorded on
-// the reservation (StatusError) rather than crashing the daemon — they
-// indicate bugs, and the obs counters make them visible.
-func (s *Server) admitBatch(batch []*pending) {
-	for _, p := range batch {
-		s.admitOne(p)
+	for _, it := range items {
+		s.admitOne(sh, it.(*pending))
 	}
 }
 
-// admitOne is one request's turn on the engine goroutine.
-func (s *Server) admitOne(p *pending) {
+// admitOne is one request's turn on its shard's goroutine.
+func (s *Server) admitOne(sh *cluster.Shard, p *pending) {
 	defer close(p.done)
+	eng := sh.Engine()
 
 	if s.tracing {
 		now := s.now()
 		p.rec.End(p.bwSpan, now)
 		p.eaSpan = p.rec.Begin(PhaseEngineAdmit, now)
+		probe := &s.probes[sh.ID()]
 		// Deferred so every settle path (horizon, expired, error,
 		// decision) gets the same finalisation; defers run LIFO, so this
 		// completes the trace before close(p.done) releases the handler.
-		defer s.finishEngineTrace(p, s.probe.read(), p.rec.SinceNs(now))
+		defer s.finishEngineTrace(p, probe, probe.read(), p.rec.SinceNs(now))
 	}
 
 	// Resolve the arrival slot: the clock's current slot, or — in
@@ -453,7 +496,7 @@ func (s *Server) admitOne(p *pending) {
 	if !s.clock.realtime() && p.arrival != nil {
 		arrival = *p.arrival
 	}
-	if cur := s.eng.CurrentSlot(); arrival < cur {
+	if cur := eng.CurrentSlot(); arrival < cur {
 		arrival = cur
 	}
 	s.clock.observe(arrival)
@@ -485,7 +528,7 @@ func (s *Server) admitOne(p *pending) {
 		return
 	}
 
-	d, err := s.eng.Admit(workload.Request{
+	d, err := eng.Admit(workload.Request{
 		ID:          int(p.id),
 		Src:         p.src,
 		Dst:         p.dst,
@@ -495,6 +538,7 @@ func (s *Server) admitOne(p *pending) {
 		RateMbps:    p.rate,
 		Valuation:   p.val,
 	})
+	p.cross = sh.TakeCrossShard()
 	if err != nil {
 		p.resv.Status = StatusError
 		p.resv.Reason = err.Error()
@@ -502,12 +546,13 @@ func (s *Server) admitOne(p *pending) {
 		return
 	}
 	s.statTotal.Add(1)
+	sh.NoteDecision(d.Accepted)
 	if d.Accepted {
 		p.resv.Status = StatusAccepted
 		p.resv.Price = d.Price
 		p.resv.TotalHops = d.Plan.TotalHops()
 		s.statAccepted.Add(1)
-		s.setRevenue(s.eng.Revenue())
+		s.addRevenue(d.Price)
 	} else {
 		p.resv.Status = StatusRejected
 		p.resv.Reason = d.Reason
@@ -545,10 +590,10 @@ func (s *Server) store(p *pending) {
 // admission's counter deltas, and settles who emits the audit record:
 // normally the handler (after it writes the response), or the engine
 // itself when the handler's client abandoned the wait.
-func (s *Server) finishEngineTrace(p *pending, before probeSample, admitStartNs int64) {
+func (s *Server) finishEngineTrace(p *pending, probe *engineProbe, before probeSample, admitStartNs int64) {
 	now := s.now()
 	p.rec.End(p.eaSpan, now)
-	d := s.probe.read().sub(before)
+	d := probe.read().sub(before)
 	p.stats = d
 	// The search timers include the pricing callbacks they invoke;
 	// report disjoint sub-phases by subtracting.
@@ -584,6 +629,8 @@ func (s *Server) emitDecided(p *pending, now time.Time) {
 		ArrivalSlot:  p.resv.ArrivalSlot,
 		StartSlot:    p.resv.StartSlot,
 		EndSlot:      p.resv.EndSlot,
+		Shard:        p.shard,
+		CrossShard:   p.cross,
 		Searches:     p.stats.searches,
 		PrunedLabels: p.stats.pruned,
 		HeapPops:     p.stats.heapPops,
@@ -656,6 +703,10 @@ type Stats struct {
 	Draining       bool              `json:"draining"`
 	SLO            []obs.SLOSnapshot `json:"slo"`
 	Trace          *TraceStats       `json:"trace,omitempty"`
+	// Shards is the per-shard cluster section, present only when the
+	// service runs more than one shard (single-shard output is unchanged).
+	Shards []cluster.ShardStats `json:"shards,omitempty"`
+	Router string               `json:"router,omitempty"`
 }
 
 // SLOSnapshots returns the current state of every SLO class, for
@@ -670,13 +721,13 @@ func (s *Server) StatsSnapshot() Stats {
 	draining := s.draining
 	s.lifeMu.RUnlock()
 	st := Stats{
-		Algorithm:      s.eng.Algorithm(),
+		Algorithm:      s.cl.Algorithm(),
 		Version:        buildinfo.Read().Version,
 		UptimeSeconds:  s.now().Sub(s.started).Seconds(),
 		Slot:           s.Slot(),
 		Horizon:        s.horizon,
 		ClockRate:      s.cfg.ClockRate,
-		QueueDepth:     len(s.in),
+		QueueDepth:     s.cl.QueuedTotal(),
 		QueueHighWater: s.statQueueHW.Load(),
 		QueueCapacity:  s.cfg.QueueDepth,
 		BatchSize:      s.cfg.BatchSize,
@@ -695,8 +746,26 @@ func (s *Server) StatsSnapshot() Stats {
 			Dropped: s.sink.ctrDropped.Value(),
 		}
 	}
+	if s.cl.NumShards() > 1 {
+		st.Shards = s.cl.Stats()
+		st.Router = s.cfg.Router.String()
+	}
 	return st
 }
 
-func (s *Server) setRevenue(v float64) { s.statRevenue.Store(math.Float64bits(v)) }
-func (s *Server) revenue() float64     { return math.Float64frombits(s.statRevenue.Load()) }
+// addRevenue accumulates an accepted booking's price into the stats
+// mirror. With one shard the adds happen in engine order, so the float
+// sum is bit-identical to the engine's own Revenue accumulator; with
+// several shards the CAS loop makes concurrent adds safe (summation
+// order, and hence the last few ulps, then depend on interleaving).
+func (s *Server) addRevenue(price float64) {
+	for {
+		old := s.statRevenue.Load()
+		next := math.Float64bits(math.Float64frombits(old) + price)
+		if s.statRevenue.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *Server) revenue() float64 { return math.Float64frombits(s.statRevenue.Load()) }

@@ -243,7 +243,7 @@ func TestOverloadSheds(t *testing.T) {
 	}()
 	// The engine parks on the gate having popped the first booking;
 	// wait until the queue is observably drained of it.
-	waitFor(t, func() bool { return len(s.in) == 0 && s.ctrBatches.Value() == 0 })
+	waitFor(t, func() bool { return s.cl.QueuedTotal() == 0 && s.ctrBatches.Value() == 0 })
 
 	// Fill the queue to capacity; these must enqueue without shedding.
 	resps := make([]chan BookResponse, 2)
@@ -255,7 +255,7 @@ func TestOverloadSheds(t *testing.T) {
 			ch <- out
 		}()
 	}
-	waitFor(t, func() bool { return len(s.in) == 2 })
+	waitFor(t, func() bool { return s.cl.QueuedTotal() == 2 })
 
 	// Queue full: the next bookings shed immediately.
 	const sheds = 3
@@ -313,7 +313,7 @@ func TestGracefulDrain(t *testing.T) {
 			ch <- out
 		}()
 	}
-	waitFor(t, func() bool { return len(s.in) >= 1 && s.ctrBatches.Value() == 0 })
+	waitFor(t, func() bool { return s.cl.QueuedTotal() >= 1 && s.ctrBatches.Value() == 0 })
 
 	done := make(chan error, 1)
 	go func() {

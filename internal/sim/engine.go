@@ -147,6 +147,26 @@ func (e *Engine) EnableTraceDetail() { e.state.EnableTraceDetail(e.rc.Obs) }
 // Horizon returns the number of slots in the engine's topology.
 func (e *Engine) Horizon() int { return e.horizon }
 
+// State exposes the engine's resource state. The cluster layer uses it
+// to install the two-phase commit interceptor and to run the
+// ownership-filtered metric sweeps; the single-writer contract extends
+// to everything done through it.
+func (e *Engine) State() *netstate.State { return e.state }
+
+// ValuationPerSlot returns the per-slot arrived and accepted valuation
+// accumulators (shared slices, read-only for callers). The cluster sums
+// them across shards to rebuild the cumulative welfare trajectory.
+func (e *Engine) ValuationPerSlot() (arrived, accepted []float64) {
+	return e.arrivedVal, e.acceptedVal
+}
+
+// PathTotals returns the accepted-plan path accumulators — total hops,
+// total per-slot paths and total one-way latency in ms — for merging
+// shard results.
+func (e *Engine) PathTotals() (hops, slotPaths int, latencyMs float64) {
+	return e.totalHops, e.totalSlotPaths, e.totalLatency
+}
+
 // CurrentSlot returns the most recent arrival slot admitted (-1 before
 // the first admission).
 func (e *Engine) CurrentSlot() int { return e.curSlot }
@@ -381,6 +401,14 @@ func (e *Engine) Finish() (*Result, error) {
 		if err := rc.Trace.Flush(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
+	}
+	// Prepare-ledger leak invariant: every two-phase reservation must be
+	// committed or aborted by the end of the run. The completed result is
+	// returned alongside the error so a serving layer can log the leak
+	// and keep the sweep, while tests fail loudly (errors.Is on
+	// netstate.ErrPreparedLeak).
+	if err := state.CheckPreparedDrained(); err != nil {
+		return res, fmt.Errorf("sim: %w", err)
 	}
 	return res, nil
 }

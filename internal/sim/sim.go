@@ -305,6 +305,8 @@ func classifyReason(reason string) string {
 		return "priced-out"
 	case strings.Contains(reason, "energy infeasible"):
 		return "energy-infeasible"
+	case strings.Contains(reason, "cross-shard conflict"):
+		return "conflict"
 	default:
 		return "other"
 	}

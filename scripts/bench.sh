@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the routing fast-path benchmark suite plus short
 # serving-layer load measurements, and emit a machine-readable
-# BENCH_7.json (schema documented in EXPERIMENTS.md).
+# BENCH_8.json (schema documented in EXPERIMENTS.md).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -16,15 +16,18 @@
 # allocs_per_op}; the serving rows are {name, req_per_sec, p50_ms,
 # p99_ms} — "SpaceloadClosedLoop" with tracing and hot-spot tracking
 # off, "SpaceloadClosedLoopTraced" against spaced -trace-sample 1 with
-# an audit log (tracing overhead under full sampling), and
+# an audit log (tracing overhead under full sampling),
 # "SpaceloadClosedLoopHotspots" with top-32 hot-spot tracking on
-# (attribution overhead). Only benchmarks that report allocations
-# produce complete rows; the script passes -benchmem so every row is
-# complete.
+# (attribution overhead), and "SpaceloadClosedLoopShards{1,2,4,8}" —
+# the cluster scaling sweep, identical client load against spaced
+# -shards N so the throughput ratios measure shard-engine parallelism
+# (two-phase commit overhead included). Only benchmarks that report
+# allocations produce complete rows; the script passes -benchmem so
+# every row is complete.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 BENCHTIME="${BENCHTIME:-10x}"
 SERVE_DURATION="${SERVE_DURATION:-5s}"
 
@@ -65,7 +68,7 @@ awk '
 # observability layer's overhead is quantified against the same
 # baseline.
 serve_row() {
-  local row_name="$1"; shift
+  local row_name="$1" conc="$2"; shift 2
   echo "== serving layer: spaced + spaceload closed loop, $row_name ($SERVE_DURATION) =="
   : >"$WORK/spaced.log"
   "$WORK/spaced" -addr 127.0.0.1:0 -clock-rate 0 "$@" >"$WORK/spaced.log" 2>&1 &
@@ -80,7 +83,7 @@ serve_row() {
   [[ -n "$addr" ]] || { cat "$WORK/spaced.log" >&2; echo "bench.sh: spaced never started listening" >&2; exit 1; }
 
   local summary
-  summary="$("$WORK/spaceload" -addr "http://$addr" -mode closed -concurrency 4 -duration "$SERVE_DURATION" \
+  summary="$("$WORK/spaceload" -addr "http://$addr" -mode closed -concurrency "$conc" -duration "$SERVE_DURATION" \
     | tee /dev/stderr | sed -n 's/^SUMMARY //p')"
   kill -TERM "$SPACED_PID"
   wait "$SPACED_PID" # non-zero = drain failed, and so does the script
@@ -99,9 +102,15 @@ serve_row() {
 if [[ "$SERVE_DURATION" != "0" ]]; then
   go build -o "$WORK/spaced" ./cmd/spaced
   go build -o "$WORK/spaceload" ./cmd/spaceload
-  serve_row SpaceloadClosedLoop -hotspots=false
-  serve_row SpaceloadClosedLoopTraced -hotspots=false -trace-sample 1.0 -audit-log "$WORK/audit.jsonl"
-  serve_row SpaceloadClosedLoopHotspots -hotspots=true -hotspot-k 32
+  serve_row SpaceloadClosedLoop 4 -hotspots=false
+  serve_row SpaceloadClosedLoopTraced 4 -hotspots=false -trace-sample 1.0 -audit-log "$WORK/audit.jsonl"
+  serve_row SpaceloadClosedLoopHotspots 4 -hotspots=true -hotspot-k 32
+  # Cluster scaling sweep: the same closed-loop client (16 in flight,
+  # enough to keep 8 shard loops busy) against spaced -shards N. The
+  # Shards1 row is the single-writer baseline the ratios divide by.
+  for n in 1 2 4 8; do
+    serve_row "SpaceloadClosedLoopShards$n" 16 -hotspots=false -shards "$n" -router round-robin
+  done
 fi
 
 {
