@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-race build test vet fmt-check race bench bench-smoke obsdiff-smoke smoke-spaced trace-smoke
+.PHONY: check check-race build test vet fmt-check race bench bench-smoke obsdiff-smoke smoke-spaced trace-smoke scenario-smoke
 
 check: fmt-check vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -50,6 +50,13 @@ bench:
 # cluster.* report counters).
 smoke-spaced:
 	./scripts/smoke_spaced.sh
+
+# End-to-end scenario smoke: validate the checked-in example specs,
+# record a spec-driven cearsim run, replay it, assert the two traces
+# are byte-identical, then run the Erlang-B analytical twin (must
+# PASS within tolerance).
+scenario-smoke:
+	./scripts/scenario_smoke.sh
 
 # End-to-end tracing smoke: boot spaced with -trace-sample 1 and an
 # audit log, fire spaceload, assert /debug/traces.json answers with

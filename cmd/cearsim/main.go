@@ -7,8 +7,15 @@
 //	cearsim [-scale small|medium|full]
 //	        [-alg CEAR|SSP|ECARS|ERU|ERA|CEAR-NE|CEAR-AA|CEAR-LIN|CEAR-AD]
 //	        [-rate R] [-seed N] [-valuation V] [-f1 F] [-f2 F]
+//	        [-spec scenario.json] [-record] [-replay recorded.jsonl]
 //	        [-trace decisions.jsonl] [-report run.json]
 //	        [-debug-addr 127.0.0.1:6060]
+//
+// -spec drives the run from a declarative scenario spec instead of the
+// flat paper workload. -record (with -trace) writes every admitted
+// request into the trace, making it a complete recording; -replay runs
+// such a recording back through the engine, reproducing every decision,
+// price and Result byte-identically.
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -26,6 +35,7 @@ import (
 	"spacebooking/internal/metrics"
 	"spacebooking/internal/obs"
 	"spacebooking/internal/pricing"
+	"spacebooking/internal/scenario"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/trace"
 	"spacebooking/internal/workload"
@@ -43,6 +53,9 @@ func run() int {
 	valuation := flag.Float64("valuation", 0, "request valuation ρ (0 = scale default)")
 	f1 := flag.Float64("f1", 1, "bandwidth conservativeness parameter F1")
 	f2 := flag.Float64("f2", 1, "energy conservativeness parameter F2")
+	specFile := flag.String("spec", "", "drive the run from this scenario spec (JSON)")
+	record := flag.Bool("record", false, "record every admitted request into the trace (requires -trace)")
+	replayFile := flag.String("replay", "", "replay a recorded trace instead of generating a workload")
 	traceFile := flag.String("trace", "", "write a JSON-lines decision trace to this file")
 	reportFile := flag.String("report", "", "write a machine-readable JSON run report to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics.json on this address (e.g. 127.0.0.1:6060)")
@@ -51,6 +64,14 @@ func run() int {
 	if *showVersion {
 		fmt.Println(buildinfo.Line("cearsim"))
 		return 0
+	}
+	if *specFile != "" && *replayFile != "" {
+		fmt.Fprintln(os.Stderr, "cearsim: -spec and -replay are mutually exclusive")
+		return 1
+	}
+	if *record && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "cearsim: -record requires -trace")
+		return 1
 	}
 
 	// Ctrl-C / SIGTERM cancels the run between requests instead of
@@ -111,6 +132,58 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	// Workload source: the flat paper workload by default, a scenario
+	// spec's generated stream, or a recorded trace played back.
+	var specName string
+	var eventTimeline []string
+	var sourceReqs []workload.Request
+	switch {
+	case *specFile != "":
+		spec, err := scenario.Load(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		gen, err := scenario.NewGenerator(spec, env.ScenarioBinding())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rc.Source = gen
+		rc.SpecName = spec.Name
+		specName = spec.Name
+		eventTimeline = spec.EventTimeline()
+		// A second, independent generation for the assumptions check —
+		// byte-identical to the stream the run drains.
+		sourceReqs, err = scenario.Generate(spec, env.ScenarioBinding())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case *replayFile != "":
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		records, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		reqs, name, err := scenario.RequestsFromTrace(records)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rc.Source = workload.NewSliceSource(reqs)
+		rc.SpecName = name
+		specName = name
+		sourceReqs = reqs
+	}
+	rc.RecordRequests = *record
+
 	var tw *trace.Writer
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -138,10 +211,12 @@ func run() int {
 	}
 
 	// Diagnostic: how far this workload strays from §V's assumptions.
-	reqs, err := workload.Generate(wl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	reqs := sourceReqs
+	if reqs == nil {
+		if reqs, err = workload.Generate(wl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 	assumptions, err := sim.CheckAssumptions(env.Provider, rc.Pricing, rc.Energy, reqs)
 	if err != nil {
@@ -150,6 +225,18 @@ func run() int {
 	}
 
 	fmt.Printf("algorithm        %s\n", res.Algorithm)
+	if specName != "" {
+		mode := "spec"
+		if *replayFile != "" {
+			mode = "replayed spec"
+		}
+		fmt.Printf("scenario         %s (%s)\n", specName, mode)
+	} else if *replayFile != "" {
+		fmt.Printf("scenario         replayed trace %s\n", *replayFile)
+	}
+	if len(eventTimeline) > 0 {
+		fmt.Printf("events           %s\n", strings.Join(eventTimeline, " "))
+	}
 	fmt.Printf("scale            %s (%d satellites, horizon %d min)\n", scale, env.Provider.NumSats(), env.Provider.Horizon())
 	fmt.Printf("arrival rate     %.3g req/min, seed %d, valuation %.3g\n", *rate, *seed, *valuation)
 	fmt.Printf("requests         %d total, %d accepted (%.1f%%)\n",
@@ -160,8 +247,13 @@ func run() int {
 	fmt.Printf("assumptions 1-2  %s\n", assumptions)
 	if len(res.Rejections) > 0 {
 		fmt.Printf("rejections:\n")
-		for reason, n := range res.Rejections {
-			fmt.Printf("  %-18s %d\n", reason, n)
+		reasons := make([]string, 0, len(res.Rejections))
+		for reason := range res.Rejections {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Printf("  %-18s %d\n", reason, res.Rejections[reason])
 		}
 	}
 	fmt.Printf("mean depleted satellites  %.2f (peak %d)\n", res.MeanDepleted(), maxInt(res.DepletedPerSlot))
@@ -172,7 +264,7 @@ func run() int {
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *reportFile != "" {
-		rep := buildReport(scale, env, rc, res, *rate, *seed, *valuation, *f1, *f2, reg)
+		rep := buildReport(scale, env, rc, res, *rate, *seed, *valuation, *f1, *f2, specName, eventTimeline, reg)
 		if err := obs.WriteReportFile(*reportFile, rep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -186,9 +278,16 @@ func run() int {
 // configuration, the §VI-A result metrics, and the instrumentation
 // snapshot.
 func buildReport(scale spacebooking.Scale, env *spacebooking.Environment, rc sim.RunConfig,
-	res *sim.Result, rate float64, seed int64, valuation, f1, f2 float64, reg *obs.Registry) *obs.Report {
+	res *sim.Result, rate float64, seed int64, valuation, f1, f2 float64,
+	specName string, eventTimeline []string, reg *obs.Registry) *obs.Report {
 	rep := obs.NewReport("cearsim")
 	rep.SetConfig("scale", scale.String())
+	if specName != "" {
+		rep.SetConfig("spec", specName)
+	}
+	if len(eventTimeline) > 0 {
+		rep.SetConfig("spec_events", strings.Join(eventTimeline, " "))
+	}
 	rep.SetConfig("algorithm", res.Algorithm)
 	rep.SetConfig("rate_per_min", rate)
 	rep.SetConfig("seed", seed)

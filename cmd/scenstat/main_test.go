@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodSpec = `{
+  "version": 1,
+  "name": "unit",
+  "seed": 7,
+  "horizon": 2000,
+  "classes": [{
+    "name": "calls",
+    "arrival": {"process": "poisson", "rate_per_slot": 5},
+    "mix": {"min_duration_slots": 1, "max_duration_slots": 3,
+            "min_rate_mbps": 500, "max_rate_mbps": 2000, "mean_rate_mbps": 1250,
+            "valuation": 1e8}
+  }]
+}`
+
+func writeSpec(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeValidSpec(t *testing.T) {
+	path := writeSpec(t, goodSpec)
+	if err := summarize(path, 0, 0, false); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := summarize(path, 0, 0, true); err != nil {
+		t.Fatalf("json mode: %v", err)
+	}
+}
+
+func TestSummarizeInvalidSpec(t *testing.T) {
+	path := writeSpec(t, `{"version": 9, "name": "bad", "classes": []}`)
+	if err := summarize(path, 0, 0, false); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if err := summarize(filepath.Join(t.TempDir(), "missing.json"), 0, 0, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSummarizeErlangB(t *testing.T) {
+	path := writeSpec(t, goodSpec)
+	// λ=5, mean hold 2 → 10 erlangs on 12 servers: the generator's
+	// measured blocking must land inside the documented tolerance.
+	if err := summarize(path, 12, 0, false); err != nil {
+		t.Fatalf("erlang-b validation failed: %v", err)
+	}
+}
+
+func TestSummarizeErlangBNeedsHorizon(t *testing.T) {
+	noHorizon := strings.Replace(goodSpec, `"horizon": 2000,`, "", 1)
+	path := writeSpec(t, noHorizon)
+	err := summarize(path, 12, 0, false)
+	if err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("horizon-free erlang-b run: %v", err)
+	}
+	if err := summarize(path, 12, 2000, false); err != nil {
+		t.Fatalf("-horizon override failed: %v", err)
+	}
+}
+
+func TestSummarizeErlangBRejectsNonStationary(t *testing.T) {
+	withEvent := strings.Replace(goodSpec, `"classes"`, `"events": [{"kind": "flash_crowd", "start_slot": 1, "end_slot": 5, "factor": 2}], "classes"`, 1)
+	path := writeSpec(t, withEvent)
+	if err := summarize(path, 12, 0, false); err == nil {
+		t.Fatal("non-stationary spec accepted for erlang-b validation")
+	}
+	// Without -servers the same spec is fine.
+	if err := summarize(path, 0, 0, false); err != nil {
+		t.Fatalf("summary-only run failed: %v", err)
+	}
+}

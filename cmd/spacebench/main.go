@@ -7,7 +7,9 @@
 //	spacebench [-scale small|medium|full] [-seed N] [-quiet] <figure>
 //
 // where <figure> is one of: fig6, fig7, fig8, fig9, ablate, adaptive,
-// competitive, all.
+// competitive, all. The extra "scenario" figure runs a declarative
+// workload spec (-spec FILE, see internal/scenario) through the paper's
+// five algorithms and tabulates welfare, acceptance and revenue.
 //
 // The default scale is "medium" — shape-preserving and minutes-fast. Use
 // -scale full for the paper's exact §VI-A setting (1584 satellites,
@@ -19,12 +21,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"spacebooking"
 	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/metrics"
 	"spacebooking/internal/obs"
+	"spacebooking/internal/scenario"
+	"spacebooking/internal/sim"
 )
 
 func main() {
@@ -38,11 +43,12 @@ func run() int {
 	numSeeds := flag.Int("seeds", len(spacebooking.DefaultSeeds), "number of seeds for the Fig. 6 error bars (1-5)")
 	csvDir := flag.String("csv", "", "directory for per-figure CSV exports (optional)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	specFile := flag.String("spec", "", "scenario spec file for the \"scenario\" figure")
 	reportFile := flag.String("report", "", "write a machine-readable JSON run report to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /metrics.json on this address (e.g. 127.0.0.1:6060)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spacebench [flags] <fig6|fig7|fig8|fig9|ablate|adaptive|competitive|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: spacebench [flags] <fig6|fig7|fig8|fig9|ablate|adaptive|competitive|scenario|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -114,7 +120,7 @@ func run() int {
 			return 1
 		}
 	}
-	opts := runOpts{seed: *seed, seeds: spacebooking.DefaultSeeds[:*numSeeds], csvDir: *csvDir}
+	opts := runOpts{seed: *seed, seeds: spacebooking.DefaultSeeds[:*numSeeds], csvDir: *csvDir, spec: *specFile}
 
 	runners := map[string]func(*spacebooking.Environment, runOpts) error{
 		"fig6":        runFig6,
@@ -124,6 +130,7 @@ func run() int {
 		"ablate":      runAblate,
 		"adaptive":    runAdaptive,
 		"competitive": runCompetitive,
+		"scenario":    runScenario,
 	}
 	if figure == "all" {
 		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "ablate", "adaptive", "competitive"} {
@@ -182,6 +189,7 @@ type runOpts struct {
 	seed   int64
 	seeds  []int64
 	csvDir string
+	spec   string
 }
 
 // writeCSV writes one export file when -csv is set.
@@ -330,6 +338,56 @@ func runAdaptive(env *spacebooking.Environment, opts runOpts) error {
 	}
 	fmt.Println()
 	return res.Table().Render(os.Stdout)
+}
+
+// runScenario drives a declarative workload spec through the paper's
+// five algorithms. Every run rebuilds the streaming generator from the
+// same spec and seed, so all algorithms see the identical request
+// sequence — the comparison isolates admission policy, not workload
+// noise.
+func runScenario(env *spacebooking.Environment, opts runOpts) error {
+	if opts.spec == "" {
+		return fmt.Errorf("the scenario figure needs -spec FILE")
+	}
+	spec, err := scenario.Load(opts.spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: %d classes", spec.Name, len(spec.Classes))
+	if tl := spec.EventTimeline(); len(tl) > 0 {
+		fmt.Printf(", events %s", strings.Join(tl, " "))
+	}
+	fmt.Println()
+
+	t := metrics.NewTable(fmt.Sprintf("Scenario %q — algorithm comparison", spec.Name),
+		"algorithm", "accepted", "total", "welfare", "revenue")
+	rows := make([][]float64, 0, 5)
+	for _, alg := range []sim.AlgorithmKind{sim.AlgCEAR, sim.AlgSSP, sim.AlgECARS, sim.AlgERU, sim.AlgERA} {
+		gen, err := scenario.NewGenerator(spec, env.ScenarioBinding())
+		if err != nil {
+			return err
+		}
+		wl := env.WorkloadConfig(env.DefaultArrivalRate(), spec.Seed)
+		rc, err := env.RunConfig(alg, wl)
+		if err != nil {
+			return err
+		}
+		rc.Source = gen
+		rc.SpecName = spec.Name
+		res, err := env.Run(rc)
+		if err != nil {
+			return err
+		}
+		t.AddRow(alg.String(),
+			fmt.Sprintf("%d", res.Accepted), fmt.Sprintf("%d", res.TotalRequests),
+			fmt.Sprintf("%.4f", res.WelfareRatio), fmt.Sprintf("%.3g", res.Revenue))
+		rows = append(rows, []float64{float64(alg), float64(res.Accepted), float64(res.TotalRequests), res.WelfareRatio, res.Revenue})
+	}
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return opts.writeCSV("scenario.csv", []string{"alg", "accepted", "total", "welfare", "revenue"}, rows)
 }
 
 func runCompetitive(env *spacebooking.Environment, opts runOpts) error {

@@ -23,7 +23,13 @@
 //
 //	spaceload [-addr http://127.0.0.1:8080] [-mode closed|open]
 //	          [-rate R] [-concurrency C] [-n N] [-duration D]
-//	          [-seed S] [-report load.json]
+//	          [-seed S] [-spec scenario.json] [-report load.json]
+//
+// With -spec the request mix comes from a declarative scenario spec
+// (internal/scenario) bound to the server's advertised pairs and
+// horizon instead of the flat paper workload; the spec name and event
+// timeline are carried into the SUMMARY line and the -report JSON so
+// every run is attributable to a spec version.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 
 	"spacebooking/internal/buildinfo"
 	"spacebooking/internal/obs"
+	"spacebooking/internal/scenario"
 	"spacebooking/internal/server"
 	"spacebooking/internal/topology"
 	"spacebooking/internal/workload"
@@ -62,6 +69,7 @@ func run() int {
 	n := flag.Int("n", 0, "stop after this many requests (0 = unbounded)")
 	duration := flag.Duration("duration", 10*time.Second, "stop after this wall time (0 = unbounded)")
 	seed := flag.Int64("seed", 1, "request-mix random seed")
+	specFile := flag.String("spec", "", "build the request mix from this scenario spec instead of the flat workload")
 	reportFile := flag.String("report", "", "write a machine-readable JSON report of the run")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -96,13 +104,36 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	mix, err := buildMix(cfg.Workload, *seed)
-	if err != nil {
+	var mix []server.BookRequest
+	var specName string
+	var specEvents []string
+	if *specFile != "" {
+		spec, err := scenario.Load(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		spec.Seed = *seed
+		mix, err = buildSpecMix(spec, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		specName = spec.Name
+		specEvents = spec.EventTimeline()
+	} else if mix, err = buildMix(cfg.Workload, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	fmt.Printf("target %s: %s over %d slots, %d pairs, %d-request mix\n",
 		*addr, cfg.Algorithm, cfg.Horizon, len(cfg.Pairs), len(mix))
+	if specName != "" {
+		fmt.Printf("scenario %s", specName)
+		if len(specEvents) > 0 {
+			fmt.Printf(" (events: %s)", strings.Join(specEvents, " "))
+		}
+		fmt.Println()
+	}
 
 	lg := &loadGen{
 		client:   client,
@@ -146,9 +177,17 @@ func run() int {
 		}
 	}
 
-	fmt.Printf("SUMMARY req_per_sec=%.2f p50_ms=%.3f p99_ms=%.3f accepted=%d rejected=%d shed=%d draining=%d errors=%d\n",
+	summaryLine := fmt.Sprintf("SUMMARY req_per_sec=%.2f p50_ms=%.3f p99_ms=%.3f accepted=%d rejected=%d shed=%d draining=%d errors=%d",
 		reqPerSec, 1e3*snap.P50, 1e3*snap.P99,
 		lg.accepted.Load(), lg.rejected.Load(), lg.shed.Load(), lg.draining.Load(), lg.errors.Load())
+	if specName != "" {
+		// Keep the line machine-parseable: space-free values only.
+		summaryLine += " spec=" + specName
+		if len(specEvents) > 0 {
+			summaryLine += " events=" + strings.Join(specEvents, ",")
+		}
+	}
+	fmt.Println(summaryLine)
 
 	if *reportFile != "" {
 		rep := obs.NewReport("spaceload")
@@ -159,6 +198,10 @@ func run() int {
 		rep.SetConfig("seed", *seed)
 		rep.SetConfig("server_algorithm", cfg.Algorithm)
 		rep.SetConfig("server_horizon", cfg.Horizon)
+		if specName != "" {
+			rep.SetConfig("spec", specName)
+			rep.SetConfig("spec_events", strings.Join(specEvents, " "))
+		}
 		rep.SetMetric("req_per_sec", reqPerSec)
 		rep.SetMetric("p50_ms", 1e3*snap.P50)
 		rep.SetMetric("p95_ms", 1e3*snap.P95)
@@ -297,6 +340,38 @@ func buildMix(wcfg workload.Config, seed int64) ([]server.BookRequest, error) {
 	}
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("spaceload: empty request mix (horizon %d, rate %g)", wcfg.Horizon, wcfg.ArrivalRatePerSlot)
+	}
+	mix := make([]server.BookRequest, len(reqs))
+	for i, r := range reqs {
+		mix[i] = server.BookRequest{
+			Src:           wireEndpoint(r.Src),
+			Dst:           wireEndpoint(r.Dst),
+			RateMbps:      r.RateMbps,
+			DurationSlots: r.DurationSlots(),
+			Valuation:     r.Valuation,
+		}
+	}
+	return mix, nil
+}
+
+// buildSpecMix synthesises the request pool from a scenario spec bound
+// to the server's advertised pairs, horizon and default valuation.
+// Sites do not travel over the wire, so specs needing them (solar-phased
+// diurnals, regional outages) must run through cearsim instead; the
+// generator rejects them with a clear error. Arrival timing is
+// discarded — the load mode paces arrivals.
+func buildSpecMix(spec scenario.Spec, cfg server.ConfigResponse) ([]server.BookRequest, error) {
+	b := scenario.Binding{
+		Horizon:          cfg.Horizon,
+		Pairs:            cfg.Workload.Pairs,
+		DefaultValuation: cfg.Workload.Valuation,
+	}
+	reqs, err := scenario.Generate(spec, b)
+	if err != nil {
+		return nil, fmt.Errorf("spaceload: generating spec mix: %w", err)
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("spaceload: spec %q generated no requests over horizon %d", spec.Name, cfg.Horizon)
 	}
 	mix := make([]server.BookRequest, len(reqs))
 	for i, r := range reqs {

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// interarrival samples unit-mean interarrival "work". The generator
+// rescales the work through the piecewise-constant per-slot rate λ(t):
+// for the exponential sampler this is exactly an inhomogeneous Poisson
+// process (time-rescaling theorem); for gamma/weibull it is the
+// corresponding rate-modulated renewal process.
+type interarrival interface {
+	sample(rng *rand.Rand) float64
+}
+
+// newInterarrival builds the unit-mean sampler for an arrival spec.
+func newInterarrival(a ArrivalSpec) (interarrival, error) {
+	switch a.Process {
+	case ProcessPoisson:
+		return expInterarrival{}, nil
+	case ProcessGamma:
+		return gammaInterarrival{shape: a.Shape}, nil
+	case ProcessWeibull:
+		// Unit mean requires scale 1/Γ(1 + 1/k).
+		return weibullInterarrival{shape: a.Shape, scale: 1 / math.Gamma(1+1/a.Shape)}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown arrival process %q", a.Process)
+	}
+}
+
+// expInterarrival is Exp(1): the Poisson process.
+type expInterarrival struct{}
+
+func (expInterarrival) sample(rng *rand.Rand) float64 { return rng.ExpFloat64() }
+
+// gammaInterarrival is Gamma(k, 1/k): unit mean, CV 1/√k.
+type gammaInterarrival struct{ shape float64 }
+
+func (g gammaInterarrival) sample(rng *rand.Rand) float64 {
+	return gammaVariate(rng, g.shape) / g.shape
+}
+
+// gammaVariate samples Gamma(k, 1) via Marsaglia-Tsang squeeze
+// (k >= 1), boosted for k < 1 with Gamma(k) = Gamma(k+1)·U^{1/k}.
+func gammaVariate(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaVariate(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullInterarrival is Weibull(k, scale) by inverse CDF: unit mean
+// when scale = 1/Γ(1+1/k).
+type weibullInterarrival struct{ shape, scale float64 }
+
+func (w weibullInterarrival) sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	// -ln(1-u) with u in [0,1) is finite and >= 0.
+	return w.scale * math.Pow(-math.Log1p(-u), 1/w.shape)
+}

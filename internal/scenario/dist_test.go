@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestInterarrivalUnitMean verifies every process/shape combination
+// actually has unit mean — the invariant the time-rescaling generator
+// relies on for its rates to come out as declared.
+func TestInterarrivalUnitMean(t *testing.T) {
+	cases := []ArrivalSpec{
+		{Process: ProcessPoisson, RatePerSlot: 1},
+		{Process: ProcessGamma, RatePerSlot: 1, Shape: 0.5},
+		{Process: ProcessGamma, RatePerSlot: 1, Shape: 1},
+		{Process: ProcessGamma, RatePerSlot: 1, Shape: 4},
+		{Process: ProcessWeibull, RatePerSlot: 1, Shape: 0.7},
+		{Process: ProcessWeibull, RatePerSlot: 1, Shape: 1},
+		{Process: ProcessWeibull, RatePerSlot: 1, Shape: 2.5},
+	}
+	for _, a := range cases {
+		s, err := newInterarrival(a)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", a.Process, a.Shape, err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := s.sample(rng)
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s/%v: bad sample %v", a.Process, a.Shape, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		if math.Abs(mean-1) > 0.02 {
+			t.Errorf("%s shape %v: mean %v, want 1±0.02", a.Process, a.Shape, mean)
+		}
+	}
+}
+
+// TestGammaShapeControlsVariance checks the dispersion ordering the
+// spec documents: shape > 1 is smoother than Poisson, shape < 1
+// burstier.
+func TestGammaShapeControlsVariance(t *testing.T) {
+	variance := func(shape float64) float64 {
+		s, err := newInterarrival(ArrivalSpec{Process: ProcessGamma, RatePerSlot: 1, Shape: shape})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := s.sample(rng)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	smooth, bursty := variance(4), variance(0.5)
+	if !(smooth < 0.5 && bursty > 1.5) {
+		t.Fatalf("variance ordering wrong: shape 4 -> %v (want < 0.5), shape 0.5 -> %v (want > 1.5)",
+			smooth, bursty)
+	}
+}
+
+func TestInterarrivalDeterministic(t *testing.T) {
+	for _, a := range []ArrivalSpec{
+		{Process: ProcessGamma, RatePerSlot: 1, Shape: 2},
+		{Process: ProcessWeibull, RatePerSlot: 1, Shape: 1.5},
+	} {
+		s, err := newInterarrival(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := rand.New(rand.NewSource(3))
+		r2 := rand.New(rand.NewSource(3))
+		for i := 0; i < 1000; i++ {
+			if x, y := s.sample(r1), s.sample(r2); x != y {
+				t.Fatalf("%s: sample %d diverged: %v vs %v", a.Process, i, x, y)
+			}
+		}
+	}
+}

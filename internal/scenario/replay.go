@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"fmt"
+
+	"spacebooking/internal/topology"
+	"spacebooking/internal/trace"
+	"spacebooking/internal/workload"
+)
+
+// RequestsFromTrace reconstructs the exact request stream a recorded
+// run admitted, from the KindRequest records a trace written with
+// sim.RunConfig.RecordRequests carries. Replaying it through sim.Run or
+// the serving path reproduces every decision, price and Result
+// byte-identically: the engine is deterministic given its inputs, and
+// the records preserve those inputs exactly (IDs included — float64
+// fields survive the JSON round trip because Go marshals the shortest
+// representation that parses back to the same value).
+//
+// The second return is the spec name recorded in the run_info line
+// (empty for flat-workload recordings), so a replay can echo it and
+// keep recorded and replayed traces byte-identical end to end.
+func RequestsFromTrace(records []trace.Record) ([]workload.Request, string, error) {
+	var reqs []workload.Request
+	specName := ""
+	for i, r := range records {
+		switch r.Kind {
+		case trace.KindRunInfo:
+			specName = r.Spec
+		case trace.KindRequest:
+			src, err := endpointFromTrace(r.SrcKind, r.SrcIndex)
+			if err != nil {
+				return nil, "", fmt.Errorf("scenario: record %d src: %w", i, err)
+			}
+			dst, err := endpointFromTrace(r.DstKind, r.DstIndex)
+			if err != nil {
+				return nil, "", fmt.Errorf("scenario: record %d dst: %w", i, err)
+			}
+			reqs = append(reqs, workload.Request{
+				ID:          r.RequestID,
+				Src:         src,
+				Dst:         dst,
+				ArrivalSlot: r.Arrival,
+				StartSlot:   r.Start,
+				EndSlot:     r.End,
+				RateMbps:    r.RateMbps,
+				Valuation:   r.Valuation,
+				Class:       r.Class,
+			})
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, "", fmt.Errorf("scenario: trace has no request records (recorded without request recording?)")
+	}
+	return reqs, specName, nil
+}
+
+// endpointFromTrace inverts the sim engine's endpoint-kind naming.
+func endpointFromTrace(kind string, index int) (topology.Endpoint, error) {
+	if index < 0 {
+		return topology.Endpoint{}, fmt.Errorf("negative endpoint index %d", index)
+	}
+	switch kind {
+	case "ground":
+		return topology.Endpoint{Kind: topology.EndpointGround, Index: index}, nil
+	case "space":
+		return topology.Endpoint{Kind: topology.EndpointSpace, Index: index}, nil
+	default:
+		return topology.Endpoint{}, fmt.Errorf("unknown endpoint kind %q", kind)
+	}
+}

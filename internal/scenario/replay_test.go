@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"spacebooking/internal/topology"
+	"spacebooking/internal/trace"
+)
+
+// TestRequestsFromTraceRoundTrip: a generated request stream written as
+// KindRequest records (through the real JSONL writer) must come back
+// equal after a parse — including float fields, which survive because
+// Go marshals the shortest representation that parses back exactly.
+func TestRequestsFromTraceRoundTrip(t *testing.T) {
+	spec := multiClassSpec()
+	reqs, err := Generate(spec, testBinding(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("empty workload")
+	}
+
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if err := w.Emit(trace.Record{Kind: trace.KindRunInfo, Algorithm: "CEAR", Seed: spec.Seed, Spec: spec.Name}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		rec := trace.Record{
+			Kind:      trace.KindRequest,
+			RequestID: r.ID,
+			Arrival:   r.ArrivalSlot,
+			Start:     r.StartSlot,
+			End:       r.EndSlot,
+			RateMbps:  r.RateMbps,
+			Valuation: r.Valuation,
+			SrcKind:   kindName(r.Src.Kind == topology.EndpointSpace),
+			SrcIndex:  r.Src.Index,
+			DstKind:   kindName(r.Dst.Kind == topology.EndpointSpace),
+			DstIndex:  r.Dst.Index,
+			Class:     r.Class,
+		}
+		if err := w.Emit(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, specName, err := RequestsFromTrace(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specName != spec.Name {
+		t.Fatalf("spec name %q, want %q", specName, spec.Name)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatal("round-tripped requests differ from originals")
+	}
+}
+
+func kindName(space bool) string {
+	if space {
+		return "space"
+	}
+	return "ground"
+}
+
+func TestRequestsFromTraceErrors(t *testing.T) {
+	if _, _, err := RequestsFromTrace([]trace.Record{{Kind: trace.KindRunInfo}}); err == nil {
+		t.Fatal("request-free trace accepted")
+	}
+	bad := []trace.Record{{Kind: trace.KindRequest, SrcKind: "sea", DstKind: "ground"}}
+	if _, _, err := RequestsFromTrace(bad); err == nil {
+		t.Fatal("unknown endpoint kind accepted")
+	}
+	neg := []trace.Record{{Kind: trace.KindRequest, SrcKind: "ground", SrcIndex: -1, DstKind: "ground"}}
+	if _, _, err := RequestsFromTrace(neg); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}

@@ -127,6 +127,7 @@ func NewEngine(prov *topology.Provider, rc RunConfig) (*Engine, error) {
 			Algorithm: alg.Name(),
 			Rate:      rc.Workload.ArrivalRatePerSlot,
 			Seed:      rc.Workload.Seed,
+			Spec:      rc.SpecName,
 		}); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
@@ -230,6 +231,25 @@ func (e *Engine) Admit(req workload.Request) (router.Decision, error) {
 	}
 	e.curSlot = req.ArrivalSlot
 
+	if e.rc.Trace != nil && e.rc.RecordRequests {
+		if err := e.rc.Trace.Emit(trace.Record{
+			Kind:      trace.KindRequest,
+			RequestID: req.ID,
+			Arrival:   req.ArrivalSlot,
+			Start:     req.StartSlot,
+			End:       req.EndSlot,
+			RateMbps:  req.RateMbps,
+			Valuation: req.Valuation,
+			SrcKind:   endpointKindName(req.Src.Kind),
+			SrcIndex:  req.Src.Index,
+			DstKind:   endpointKindName(req.Dst.Kind),
+			DstIndex:  req.Dst.Index,
+			Class:     req.Class,
+		}); err != nil {
+			return router.Decision{}, fmt.Errorf("sim: %w", err)
+		}
+	}
+
 	if e.hotEnabled {
 		e.state.BeginBlame()
 	}
@@ -255,6 +275,12 @@ func (e *Engine) Admit(req workload.Request) (router.Decision, error) {
 		}
 	}
 	e.ctrTotal.Inc()
+	if req.Class != "" && e.rc.Obs != nil {
+		e.rc.Obs.Counter("sim.class." + req.Class + ".total").Inc()
+		if d.Accepted {
+			e.rc.Obs.Counter("sim.class." + req.Class + ".accepted").Inc()
+		}
+	}
 	e.res.TotalRequests++
 	e.res.TotalValuation += req.Valuation
 	e.arrivedVal[req.ArrivalSlot] += req.Valuation
@@ -296,6 +322,15 @@ func (e *Engine) Admit(req workload.Request) (router.Decision, error) {
 		}
 	}
 	return d, nil
+}
+
+// endpointKindName renders an endpoint kind for trace records; the
+// scenario replay loader inverts it.
+func endpointKindName(k topology.EndpointKind) string {
+	if k == topology.EndpointSpace {
+		return "space"
+	}
+	return "ground"
 }
 
 // srcCellKey packs a request source endpoint (ground site or EO

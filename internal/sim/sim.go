@@ -138,6 +138,20 @@ type RunConfig struct {
 	// Trace, when non-nil, receives one structured record per admission
 	// decision plus per-slot network snapshots.
 	Trace *trace.Writer
+	// RecordRequests additionally emits one KindRequest record per
+	// admitted request (before its decision), making the trace a
+	// complete, replayable recording of the run. No-op without Trace.
+	RecordRequests bool
+	// SpecName labels the run's workload source in the trace run_info
+	// record — the scenario spec name, or empty for the flat paper
+	// workload. Replays echo the recorded name so a recording and its
+	// replay produce byte-identical traces.
+	SpecName string
+	// Source, when non-nil, supplies the online request stream instead
+	// of generating it from Workload — the hook the scenario engine and
+	// trace replay plug into. Workload still configures the algorithm
+	// (adaptive predictor rate) and booking defaults.
+	Source workload.Source
 	// Obs, when non-nil, collects phase timings, admission counters and
 	// hot-path statistics for this run. The graph-search and energy
 	// counters are threaded through the run's own State, so concurrent
@@ -328,17 +342,25 @@ func Run(prov *topology.Provider, rc RunConfig) (*Result, error) {
 // but "generate, Admit in a loop, Finish", so batch simulation and the
 // online booking server cannot diverge.
 func RunContext(ctx context.Context, prov *topology.Provider, rc RunConfig) (*Result, error) {
-	wlSpan := rc.Obs.StartPhase("workload_generate")
-	reqs, err := workload.Generate(rc.Workload)
-	wlSpan.End()
-	if err != nil {
-		return nil, err
+	src := rc.Source
+	if src == nil {
+		wlSpan := rc.Obs.StartPhase("workload_generate")
+		reqs, err := workload.Generate(rc.Workload)
+		wlSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		src = workload.NewSliceSource(reqs)
 	}
 	eng, err := NewEngine(prov, rc)
 	if err != nil {
 		return nil, err
 	}
-	for _, req := range reqs {
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: run cancelled at request %d: %w", req.ID, err)
 		}

@@ -25,6 +25,11 @@ const (
 	KindSnapshot EventKind = "snapshot"
 	// KindRunInfo records run metadata (first line of every trace).
 	KindRunInfo EventKind = "run_info"
+	// KindRequest records one admitted request's full input (endpoints,
+	// window, demand, valuation, class) — the record replay reconstructs
+	// the stream from. Emitted before the matching KindDecision when a
+	// run records with sim.RunConfig.RecordRequests.
+	KindRequest EventKind = "request"
 )
 
 // Record is one trace line. Fields are a union across kinds; unused
@@ -37,8 +42,11 @@ type Record struct {
 	Scale     string  `json:"scale,omitempty"`
 	Rate      float64 `json:"rate,omitempty"`
 	Seed      int64   `json:"seed,omitempty"`
+	// Spec names the scenario spec that drove the run (empty for the
+	// flat paper workload); replays echo the recorded name.
+	Spec string `json:"spec,omitempty"`
 
-	// Decision fields (KindDecision).
+	// Decision fields (KindDecision), shared by KindRequest.
 	RequestID int     `json:"request_id,omitempty"`
 	Arrival   int     `json:"arrival_slot,omitempty"`
 	Start     int     `json:"start_slot,omitempty"`
@@ -49,6 +57,17 @@ type Record struct {
 	Price     float64 `json:"price,omitempty"`
 	Reason    string  `json:"reason,omitempty"`
 	TotalHops int     `json:"total_hops,omitempty"`
+
+	// Request fields (KindRequest): the endpoints and class that,
+	// together with the shared window/demand fields above, reconstruct
+	// the exact workload.Request for replay. Kinds are "ground" or
+	// "space"; a zero index is omitted from the JSON and recovered as 0
+	// on read.
+	SrcKind  string `json:"src_kind,omitempty"`
+	SrcIndex int    `json:"src_index,omitempty"`
+	DstKind  string `json:"dst_kind,omitempty"`
+	DstIndex int    `json:"dst_index,omitempty"`
+	Class    string `json:"class,omitempty"`
 
 	// Snapshot fields (KindSnapshot).
 	Slot      int `json:"slot,omitempty"`
@@ -172,6 +191,9 @@ type Summary struct {
 	Revenue   float64
 	ByReason  map[string]int
 	Snapshots int
+	// Requests counts KindRequest records (non-zero only for traces
+	// recorded with request replay enabled).
+	Requests int
 }
 
 // Summarize folds a record stream into counts.
@@ -190,6 +212,8 @@ func Summarize(records []Record) Summary {
 			}
 		case KindSnapshot:
 			s.Snapshots++
+		case KindRequest:
+			s.Requests++
 		}
 	}
 	return s

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -122,9 +123,102 @@ func TestWriterCloseReturnsCloseError(t *testing.T) {
 	}
 }
 
+// TestWriterShortWrite pins the short-write path: an underlying writer
+// that accepts only part of each buffer (a filling disk, a throttled
+// pipe) must surface io.ErrShortWrite through the usual sticky-error
+// contract rather than silently dropping the tail of the trace.
+func TestWriterShortWrite(t *testing.T) {
+	w := NewWriter(shortWriter{})
+	var err error
+	for i := 0; i < 5000 && err == nil; i++ {
+		err = w.Emit(Record{Kind: KindRequest, RequestID: i, Class: "web"})
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write surfaced as %v, want io.ErrShortWrite", err)
+	}
+	if got := w.Err(); !errors.Is(got, io.ErrShortWrite) {
+		t.Errorf("Err() = %v, want the sticky short-write error", got)
+	}
+	if got := w.Close(); got != w.Err() {
+		t.Errorf("Close() = %v, want the sticky %v", got, w.Err())
+	}
+}
+
+// TestWriterCloseAfterErrorStillClosesUnderlying: once a write error is
+// sticky, Close must still close the underlying file — returning the
+// original error, not leaking the descriptor.
+func TestWriterCloseAfterErrorStillClosesUnderlying(t *testing.T) {
+	cw := &closeWriter{w: failWriter{}}
+	w := NewWriter(cw)
+	w.Emit(Record{Kind: KindSnapshot, Slot: 1})
+	err := w.Close()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close() = %v, want the underlying write error", err)
+	}
+	if !cw.closed {
+		t.Error("Close left the underlying writer open after a write error")
+	}
+	if w.Err() != err {
+		t.Errorf("Err() = %v, want the error Close returned", w.Err())
+	}
+}
+
+// TestRequestRecordRoundTrip pins the KindRequest wire format the replay
+// path depends on: endpoints, class, spec name and the float demand
+// fields must all survive a JSONL round trip exactly (Go's shortest-
+// representation float marshaling makes this lossless).
+func TestRequestRecordRoundTrip(t *testing.T) {
+	in := []Record{
+		{Kind: KindRunInfo, Algorithm: "CEAR", Scale: "small", Rate: 2, Seed: 101, Spec: "flash-crowd"},
+		{Kind: KindRequest, RequestID: 1, Arrival: 3, Start: 4, End: 9,
+			RateMbps: 1250.0625, Valuation: 2.3e9,
+			SrcKind: "ground", SrcIndex: 2, DstKind: "space", DstIndex: 17, Class: "eo"},
+		{Kind: KindRequest, RequestID: 2, RateMbps: 0.1, SrcKind: "ground", DstKind: "ground", DstIndex: 1},
+		{Kind: KindDecision, RequestID: 1, Accepted: true, Price: 12.5},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range in {
+		if err := w.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", in, out)
+	}
+	s := Summarize(out)
+	if s.Requests != 2 {
+		t.Errorf("Summarize counted %d request records, want 2", s.Requests)
+	}
+	if s.Total != 1 || s.Accepted != 1 {
+		t.Errorf("request records leaked into decision counts: %+v", s)
+	}
+}
+
 type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// shortWriter accepts half of every non-trivial write and reports no
+// error, which bufio must turn into io.ErrShortWrite.
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) {
+	if len(p) < 2 {
+		return len(p), nil
+	}
+	return len(p) / 2, nil
+}
 
 type closeWriter struct {
 	w        io.Writer

@@ -67,46 +67,48 @@ func TestGeneratorInvalidConfig(t *testing.T) {
 // sequence must be a pure function of the config, whatever GOMAXPROCS
 // is and whichever goroutine drains the stream.
 func TestGeneratorDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	cfg := DefaultConfig(96, testPairs(), 42)
-	reference, err := Generate(cfg)
-	if err != nil {
-		t.Fatalf("Generate: %v", err)
-	}
 	orig := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(orig)
-	for _, procs := range []int{1, 2, max(4, orig)} {
-		runtime.GOMAXPROCS(procs)
-		// Drain several independent generators concurrently; each must
-		// reproduce the reference sequence exactly.
-		const workers = 4
-		results := make([][]Request, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				gen, err := NewGenerator(cfg)
-				if err != nil {
-					return // checked via nil result below
-				}
-				var out []Request
-				for {
-					req, ok := gen.Next()
-					if !ok {
-						break
-					}
-					out = append(out, req)
-				}
-				results[w] = out
-			}(w)
+	for _, seed := range []int64{7, 42, 1001} {
+		cfg := DefaultConfig(96, testPairs(), seed)
+		reference, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
 		}
-		wg.Wait()
-		for w, got := range results {
-			if got == nil {
-				t.Fatalf("GOMAXPROCS=%d worker %d: generator construction failed", procs, w)
+		for _, procs := range []int{1, 2, max(4, orig)} {
+			runtime.GOMAXPROCS(procs)
+			// Drain several independent generators concurrently; each must
+			// reproduce the reference sequence exactly.
+			const workers = 4
+			results := make([][]Request, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					gen, err := NewGenerator(cfg)
+					if err != nil {
+						return // checked via nil result below
+					}
+					var out []Request
+					for {
+						req, ok := gen.Next()
+						if !ok {
+							break
+						}
+						out = append(out, req)
+					}
+					results[w] = out
+				}(w)
 			}
-			if !reflect.DeepEqual(got, reference) {
-				t.Fatalf("GOMAXPROCS=%d worker %d: sequence diverges from reference", procs, w)
+			wg.Wait()
+			for w, got := range results {
+				if got == nil {
+					t.Fatalf("seed %d GOMAXPROCS=%d worker %d: generator construction failed", seed, procs, w)
+				}
+				if !reflect.DeepEqual(got, reference) {
+					t.Fatalf("seed %d GOMAXPROCS=%d worker %d: sequence diverges from reference", seed, procs, w)
+				}
 			}
 		}
 	}

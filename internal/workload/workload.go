@@ -33,6 +33,44 @@ type Request struct {
 	// positive.
 	RateVector []float64
 	Valuation  float64
+	// Class labels the client class a scenario spec generated this
+	// request under (empty for the paper's single-class workload). It
+	// never influences admission — it exists for per-class observability
+	// counters and trace attribution.
+	Class string
+}
+
+// Source streams an online request sequence one arrival at a time, in
+// non-decreasing arrival-slot order. Generator implements it, as do the
+// scenario-spec generator and the trace replay source; sim.RunConfig
+// accepts any Source in place of the built-in workload generation.
+type Source interface {
+	// Next returns the next request in arrival order; ok is false once
+	// the sequence is exhausted.
+	Next() (req Request, ok bool)
+}
+
+// SliceSource replays a fixed request sequence — the Source used by
+// trace replay and by callers that materialise a workload up front.
+type SliceSource struct {
+	reqs []Request
+	pos  int
+}
+
+// NewSliceSource wraps an already-ordered request slice. The slice is
+// not copied; callers must not mutate it while the source is draining.
+func NewSliceSource(reqs []Request) *SliceSource {
+	return &SliceSource{reqs: reqs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.pos >= len(s.reqs) {
+		return Request{}, false
+	}
+	req := s.reqs[s.pos]
+	s.pos++
+	return req, true
 }
 
 // RateAt returns the demand δ_i(T) for an active slot. Callers must
@@ -350,6 +388,30 @@ func (s truncExpSampler) sample(rng *rand.Rand) float64 {
 	u := rng.Float64()
 	return s.min - math.Log(1-u*(1-math.Exp(-s.rate*width)))/s.rate
 }
+
+// RateSampler draws per-request demands from the paper's calibrated
+// truncated-exponential distribution. It is the exported form of the
+// sampler Generator uses internally, so the scenario engine's per-class
+// demand mixes share one calibration (and one set of edge cases: a mean
+// at or above the midpoint degrades gracefully to uniform).
+type RateSampler struct {
+	inner truncExpSampler
+}
+
+// NewRateSampler calibrates a sampler on [min, max] with the target
+// mean. The bounds must satisfy 0 < min <= mean <= max.
+func NewRateSampler(min, max, mean float64) (RateSampler, error) {
+	switch {
+	case min <= 0 || max < min:
+		return RateSampler{}, fmt.Errorf("workload: bad rate range [%v,%v]", min, max)
+	case mean < min || mean > max:
+		return RateSampler{}, fmt.Errorf("workload: mean rate %v outside [%v,%v]", mean, min, max)
+	}
+	return RateSampler{inner: newTruncExpSampler(min, max, mean)}, nil
+}
+
+// Sample draws one demand using the caller's RNG.
+func (s RateSampler) Sample(rng *rand.Rand) float64 { return s.inner.sample(rng) }
 
 // RandomGroundPairs draws `count` distinct source–destination pairs of
 // ground sites, weighted by site GDP weight when weights are present

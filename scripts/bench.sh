@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the routing fast-path benchmark suite plus short
 # serving-layer load measurements, and emit a machine-readable
-# BENCH_8.json (schema documented in EXPERIMENTS.md).
+# BENCH_9.json (schema documented in EXPERIMENTS.md).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -18,16 +18,18 @@
 # off, "SpaceloadClosedLoopTraced" against spaced -trace-sample 1 with
 # an audit log (tracing overhead under full sampling),
 # "SpaceloadClosedLoopHotspots" with top-32 hot-spot tracking on
-# (attribution overhead), and "SpaceloadClosedLoopShards{1,2,4,8}" —
-# the cluster scaling sweep, identical client load against spaced
-# -shards N so the throughput ratios measure shard-engine parallelism
-# (two-phase commit overhead included). Only benchmarks that report
-# allocations produce complete rows; the script passes -benchmem so
-# every row is complete.
+# (attribution overhead), "SpaceloadClosedLoopSpec" with the request
+# pool generated from the specs/bench.json scenario spec (multi-class
+# mix overhead on the client side; the server path is identical), and
+# "SpaceloadClosedLoopShards{1,2,4,8}" — the cluster scaling sweep,
+# identical client load against spaced -shards N so the throughput
+# ratios measure shard-engine parallelism (two-phase commit overhead
+# included). Only benchmarks that report allocations produce complete
+# rows; the script passes -benchmem so every row is complete.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 BENCHTIME="${BENCHTIME:-10x}"
 SERVE_DURATION="${SERVE_DURATION:-5s}"
 
@@ -84,6 +86,7 @@ serve_row() {
 
   local summary
   summary="$("$WORK/spaceload" -addr "http://$addr" -mode closed -concurrency "$conc" -duration "$SERVE_DURATION" \
+    ${SPACELOAD_EXTRA[@]+"${SPACELOAD_EXTRA[@]}"} \
     | tee /dev/stderr | sed -n 's/^SUMMARY //p')"
   kill -TERM "$SPACED_PID"
   wait "$SPACED_PID" # non-zero = drain failed, and so does the script
@@ -102,9 +105,15 @@ serve_row() {
 if [[ "$SERVE_DURATION" != "0" ]]; then
   go build -o "$WORK/spaced" ./cmd/spaced
   go build -o "$WORK/spaceload" ./cmd/spaceload
+  SPACELOAD_EXTRA=()
   serve_row SpaceloadClosedLoop 4 -hotspots=false
   serve_row SpaceloadClosedLoopTraced 4 -hotspots=false -trace-sample 1.0 -audit-log "$WORK/audit.jsonl"
   serve_row SpaceloadClosedLoopHotspots 4 -hotspots=true -hotspot-k 32
+  # Scenario-spec request pool: same baseline daemon, but the client's
+  # booking mix comes from the multi-class specs/bench.json scenario.
+  SPACELOAD_EXTRA=(-spec specs/bench.json)
+  serve_row SpaceloadClosedLoopSpec 4 -hotspots=false
+  SPACELOAD_EXTRA=()
   # Cluster scaling sweep: the same closed-loop client (16 in flight,
   # enough to keep 8 shard loops busy) against spaced -shards N. The
   # Shards1 row is the single-writer baseline the ratios divide by.

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# scenario_smoke.sh — end-to-end scenario-engine smoke, the CI gate for
+# the record/replay pipeline:
+#   1. scenstat validates the checked-in example specs (schema gate),
+#   2. cearsim -spec -record runs the smoke scenario and records every
+#      admitted request into a trace,
+#   3. cearsim -replay plays the recording back through the engine with
+#      its own trace attached,
+#   4. the two traces must be byte-identical (same decisions, prices,
+#      rejection reasons — the determinism contract of the PR),
+#   5. scenstat -servers runs the Erlang-B analytical twin on the
+#      single-bottleneck spec and must report PASS within tolerance.
+#
+# Usage: scripts/scenario_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+go build -o "$WORK/scenstat" ./cmd/scenstat
+go build -o "$WORK/cearsim" ./cmd/cearsim
+
+echo "scenario_smoke: validating example specs"
+"$WORK/scenstat" specs/smoke.json specs/erlangb.json specs/bench.json
+
+echo "scenario_smoke: recording spec-driven run"
+RECORDED="$WORK/recorded.jsonl"
+"$WORK/cearsim" -scale small -seed 101 -spec specs/smoke.json \
+  -record -trace "$RECORDED" >"$WORK/record.out"
+grep -q '^scenario *smoke (spec)$' "$WORK/record.out" || \
+  { cat "$WORK/record.out" >&2; echo "scenario_smoke: record run did not report the spec name" >&2; exit 1; }
+grep -q '"kind":"request"' "$RECORDED" || \
+  { echo "scenario_smoke: recorded trace holds no request records" >&2; exit 1; }
+
+echo "scenario_smoke: replaying the recording"
+REPLAYED="$WORK/replayed.jsonl"
+"$WORK/cearsim" -scale small -seed 101 -replay "$RECORDED" \
+  -record -trace "$REPLAYED" >"$WORK/replay.out"
+grep -q '^scenario *smoke (replayed spec)$' "$WORK/replay.out" || \
+  { cat "$WORK/replay.out" >&2; echo "scenario_smoke: replay run did not echo the recorded spec name" >&2; exit 1; }
+
+if ! cmp -s "$RECORDED" "$REPLAYED"; then
+  diff <(head -5 "$RECORDED") <(head -5 "$REPLAYED") >&2 || true
+  echo "scenario_smoke: replay trace is not byte-identical to the recording" >&2
+  exit 1
+fi
+echo "scenario_smoke: replay is byte-identical ($(wc -c <"$RECORDED") bytes)"
+
+# The record and replay runs must also print identical result blocks
+# (welfare, revenue, rejection breakdown) apart from the scenario mode
+# line and wall-clock footer.
+strip() { grep -v -e '^scenario' -e '^events' -e '^completed in' "$1"; }
+if ! diff <(strip "$WORK/record.out") <(strip "$WORK/replay.out") >&2; then
+  echo "scenario_smoke: replay printed a different result" >&2
+  exit 1
+fi
+
+echo "scenario_smoke: Erlang-B analytical twin"
+"$WORK/scenstat" -servers 12 specs/erlangb.json
+
+echo "scenario_smoke: OK"

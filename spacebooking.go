@@ -28,6 +28,7 @@ import (
 	"spacebooking/internal/obs"
 	"spacebooking/internal/orbit"
 	"spacebooking/internal/pricing"
+	"spacebooking/internal/scenario"
 	"spacebooking/internal/sim"
 	"spacebooking/internal/topology"
 	"spacebooking/internal/workload"
@@ -404,6 +405,19 @@ func (e *Environment) runMatrix(jobs []experiment.Job, build func(i int, j exper
 		}
 	}
 	return results, err
+}
+
+// ScenarioBinding grounds scenario specs in this environment: its
+// horizon, its request pairs, the GDP-filtered site table (for
+// solar-phased diurnals and regional outages), and its calibrated
+// valuation as the per-class default.
+func (e *Environment) ScenarioBinding() scenario.Binding {
+	return scenario.Binding{
+		Horizon:          e.Provider.Horizon(),
+		Pairs:            e.Pairs,
+		Sites:            e.Sites,
+		DefaultValuation: e.valuation,
+	}
 }
 
 // PaperPricing returns the paper's pricing parameters (n=20, 𝕋=10,
